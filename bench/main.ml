@@ -1,0 +1,768 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (§6), plus the in-text comparisons, on the bundled
+   models — followed by Bechamel micro-benchmarks of the analysis
+   primitives.
+
+     dune exec bench/main.exe                    # everything
+     dune exec bench/main.exe -- --list          # list experiments
+     dune exec bench/main.exe -- --experiment table1
+     dune exec bench/main.exe -- --quick         # reduced enumerations
+     dune exec bench/main.exe -- --skip-bechamel
+
+   Absolute numbers differ from the paper (their testbed ran S2E on x86
+   binaries for hours; we run a DSL symbolic executor for seconds) — the
+   claim reproduced is the *shape*: who wins, by what factor, and where the
+   time goes. EXPERIMENTS.md records paper-vs-measured for each entry. *)
+
+open Achilles_smt
+open Achilles_symvm
+open Achilles_core
+open Achilles_baselines
+open Achilles_runtime
+open Achilles_targets
+
+let quick = ref false
+let csv_dir : string option ref = ref None
+let banner title = Format.printf "@.=== %s ===@.@." title
+
+(* Optionally persist a figure's data series for external plotting. *)
+let write_csv name header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      output_string oc (header ^ "\n");
+      List.iter (fun row -> output_string oc (row ^ "\n")) rows;
+      close_out oc;
+      Format.printf "  (series written to %s)@." path
+
+let fresh_measurement f =
+  (* measurements must not be flattered by earlier experiments' caches *)
+  Solver.clear_cache ();
+  Solver.reset_stats ();
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* --- the shared FSP Achilles run (used by E1, E2, E3, E4) --------------------- *)
+
+let fsp_search_config =
+  {
+    Search.default_config with
+    Search.mask = Some Fsp_model.analysis_mask;
+    Search.witnesses_per_path = 16;
+    Search.distinct_by = Some Fsp_model.block_class;
+  }
+
+let fsp_analysis =
+  lazy
+    (fresh_measurement (fun () ->
+         Achilles.analyze ~search_config:fsp_search_config
+           ~layout:Fsp_model.layout ~clients:(Fsp_model.clients ())
+           ~server:Fsp_model.server ()))
+
+let trojan_classes trojans =
+  List.filter_map
+    (fun (t : Search.trojan) ->
+      match Fsp_model.classify t.Search.witness with
+      | Fsp_model.Trojan cls -> Some cls
+      | Fsp_model.Valid _ | Fsp_model.Rejected -> None)
+    trojans
+  |> List.sort_uniq compare
+
+(* --- E1: Table 1 — accuracy of Achilles vs classic symbolic execution --------- *)
+
+(* Classic SE enumerates concrete accepted messages over a reduced
+   representative alphabet (NUL, 'a', '*' per payload byte) to keep the
+   output finite; see EXPERIMENTS.md. *)
+let reduced_alphabet vars =
+  let f = Layout.field Fsp_model.layout "buf" in
+  List.init f.Layout.size (fun i ->
+      let byte = Term.var vars.(f.Layout.offset + i) in
+      Term.or_l
+        (List.map
+           (fun c -> Term.eq byte (Term.int ~width:8 c))
+           [ 0; Char.code 'a'; Char.code '*' ]))
+
+let experiment_table1 () =
+  banner "E1 / Table 1: accuracy — Achilles vs classic symbolic execution";
+  let analysis, achilles_time = Lazy.force fsp_analysis in
+  let trojans = Achilles.trojans analysis in
+  let classes = trojan_classes trojans in
+  let achilles_fp =
+    List.length trojans
+    - List.length
+        (List.filter
+           (fun (t : Search.trojan) ->
+             match Fsp_model.classify t.Search.witness with
+             | Fsp_model.Trojan _ -> true
+             | _ -> false)
+           trojans)
+  in
+  let (_classic, enumeration), classic_time =
+    fresh_measurement (fun () ->
+        let classic = Classic_se.explore Fsp_model.server in
+        let cap = if !quick then 40 else 400 in
+        let enumeration =
+          Classic_se.enumerate ~restrict:reduced_alphabet ~max_per_path:cap
+            classic.Classic_se.accepting
+        in
+        (classic, enumeration))
+  in
+  let messages = List.map fst enumeration.Classic_se.messages in
+  let classic_trojan_msgs, classic_valid_msgs =
+    List.partition
+      (fun m ->
+        match Fsp_model.classify m with
+        | Fsp_model.Trojan _ -> true
+        | _ -> false)
+      messages
+  in
+  let classic_types =
+    List.filter_map
+      (fun m ->
+        match Fsp_model.classify m with
+        | Fsp_model.Trojan cls -> Some cls
+        | _ -> None)
+      messages
+    |> List.sort_uniq compare
+  in
+  Format.printf
+    "                          Achilles      Classic symbolic execution@.";
+  Format.printf "  True positives (types)  %-12d  %d%s@." (List.length classes)
+    (List.length classic_types)
+    (if enumeration.Classic_se.exhausted then "" else " (enumeration capped)");
+  Format.printf "  False positives         %-12d  %d accepted-valid messages@."
+    achilles_fp
+    (List.length classic_valid_msgs);
+  Format.printf "  Output volume           %-12d  %d messages to sift@."
+    (List.length trojans) (List.length messages);
+  Format.printf "  Wall time               %-12.2f  %.2f seconds@."
+    achilles_time classic_time;
+  Format.printf
+    "  (paper, 1 h budget:      80 TP / 0 FP   80 TP / 7,520 FP)@.";
+  Format.printf
+    "@.  Classic SE finds the accepting paths fast but every Trojan is@.\
+    \  bundled with valid messages on the same path (%d Trojan vs %d valid@.\
+    \  among the enumerated); only the predicate difference separates them.@."
+    (List.length classic_trojan_msgs)
+    (List.length classic_valid_msgs)
+
+(* --- E2: Figure 10 — incremental discovery ------------------------------------- *)
+
+let experiment_fig10 () =
+  banner "E2 / Figure 10: % of FSP Trojan types discovered vs analysis time";
+  let analysis, _ = Lazy.force fsp_analysis in
+  let trojans = Achilles.trojans analysis in
+  let curve = Report.discovery_curve ~total:80 trojans in
+  Format.printf "%s@." (Report.render_ascii_curve curve);
+  Format.printf "  %-10s %s@." "seconds" "% discovered";
+  List.iteri
+    (fun i (t, p) ->
+      if i mod 10 = 0 || i = List.length curve - 1 then
+        Format.printf "  %-10.3f %.1f@." t p)
+    curve;
+  write_csv "fig10_discovery.csv" "seconds,percent_discovered"
+    (List.map (fun (t, p) -> Printf.sprintf "%.6f,%.2f" t p) curve);
+  Format.printf
+    "@.  As in the paper, witnesses stream out while the server analysis@.\
+    \  runs: interrupting early still yields results (first at %.3fs, all@.\
+    \  80 by %.3fs; the paper: first at 20 min, all by 43 min).@."
+    (match curve with (t, _) :: _ -> t | [] -> 0.)
+    (match List.rev curve with (t, _) :: _ -> t | [] -> 0.)
+
+(* --- E3: Figure 11 — alive client predicates vs path length --------------------- *)
+
+let experiment_fig11 () =
+  banner "E3 / Figure 11: client path predicates alive per server path length";
+  let analysis, _ = Lazy.force fsp_analysis in
+  let samples =
+    analysis.Achilles.report.Search.search_stats.Search.alive_samples
+  in
+  let points =
+    List.map
+      (fun (s : Search.alive_sample) ->
+        (float_of_int s.Search.path_length, float_of_int s.Search.alive))
+      samples
+  in
+  Format.printf "%s@." (Report.render_ascii_curve points);
+  write_csv "fig11_alive.csv" "path_length,alive_client_predicates"
+    (List.map
+       (fun (s : Search.alive_sample) ->
+         Printf.sprintf "%d,%d" s.Search.path_length s.Search.alive)
+       samples);
+  (* aggregate: min/max alive per path length *)
+  let by_len = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Search.alive_sample) ->
+      let lo, hi =
+        match Hashtbl.find_opt by_len s.Search.path_length with
+        | Some (lo, hi) -> (min lo s.Search.alive, max hi s.Search.alive)
+        | None -> (s.Search.alive, s.Search.alive)
+      in
+      Hashtbl.replace by_len s.Search.path_length (lo, hi))
+    samples;
+  Format.printf "  %-12s %-10s %s@." "path length" "min alive" "max alive";
+  Hashtbl.fold (fun len range acc -> (len, range) :: acc) by_len []
+  |> List.sort compare
+  |> List.iter (fun (len, (lo, hi)) ->
+         Format.printf "  %-12d %-10d %d@." len lo hi);
+  Format.printf
+    "@.  Longer execution paths are more specialized and match fewer client@.\
+    \  path predicates, so the per-branch Trojan check keeps getting cheaper@.\
+    \  — the same decay as the paper's Figure 11.@."
+
+(* --- E4: the §6.2 timing split --------------------------------------------------- *)
+
+let experiment_timing () =
+  banner "E4: analysis time split (client / preprocessing / server)";
+  let analysis, _ = Lazy.force fsp_analysis in
+  let t = analysis.Achilles.timing in
+  (* the paper's preprocessing has no cross-path memoization; measure that
+     raw cost too for the faithful comparison *)
+  let raw_preprocessing =
+    Solver.clear_cache ();
+    let _, stats =
+      Different_from.compute ~memoize:false ~mask:Fsp_model.analysis_mask
+        analysis.Achilles.client
+    in
+    stats.Different_from.wall_time
+  in
+  let total =
+    t.Achilles.client_extraction +. raw_preprocessing
+    +. t.Achilles.server_analysis
+  in
+  let pct x = 100. *. x /. total in
+  Format.printf "  %-30s %8s %8s    %s@." "phase" "seconds" "share"
+    "(paper: 1 h total)";
+  Format.printf "  %-30s %8.2f %7.1f%%    3 min  (4.8%%)@."
+    "client predicate" t.Achilles.client_extraction
+    (pct t.Achilles.client_extraction);
+  Format.printf "  %-30s %8.2f %7.1f%%    15 min (23.8%%)@."
+    "preprocessing (paper-faithful)" raw_preprocessing (pct raw_preprocessing);
+  Format.printf "  %-30s %8.2f %7.1f%%    45 min (71.4%%)@." "server analysis"
+    t.Achilles.server_analysis
+    (pct t.Achilles.server_analysis);
+  Format.printf "  %-30s %8.2f          (our signature memoization)@."
+    "preprocessing (memoized)" t.Achilles.preprocessing;
+  Format.printf
+    "@.  Same ordering as the paper: extracting PC is cheap, the raw@.\
+    \  differentFrom precomputation is the middle cost, and the server@.\
+    \  search dominates. Memoizing pair checks on alpha-canonical path@.\
+    \  signatures (an optimization beyond the paper) collapses the@.\
+    \  preprocessing phase.@."
+
+(* --- E5: the fuzzing comparison --------------------------------------------------- *)
+
+(* How many concrete Trojan messages exist in the full space of the 8
+   analyzed bytes (cmd, bb_len, buf), headers held at their constants. *)
+let count_trojan_messages () =
+  let printable = 94. in
+  let zero_or_printable = 95. in
+  let total = ref 0. in
+  (* class (L, t): prefix of t printable bytes, NUL at t, NUL at L, the
+     remaining payload bytes zero-or-printable *)
+  for l = 1 to 4 do
+    for t = 0 to l - 1 do
+      let free_bytes = Fsp_model.buf_size - t - 1 - 1 in
+      (* positions: t and L are pinned NUL (t < L), the other bytes free *)
+      let free_bytes = if t = l then free_bytes + 1 else free_bytes in
+      total :=
+        !total
+        +. (8. (* commands *) *. (printable ** float_of_int t)
+           *. (zero_or_printable ** float_of_int free_bytes))
+    done
+  done;
+  !total
+
+let experiment_fuzzing () =
+  banner "E5: black-box fuzzing comparison (§6.2)";
+  let oracle m =
+    match Fsp_model.classify m with
+    | Fsp_model.Trojan _ -> Fuzzer.Trojan
+    | Fsp_model.Valid _ -> Fuzzer.Valid
+    | Fsp_model.Rejected -> Fuzzer.Rejected
+  in
+  let budget = `Seconds (if !quick then 1.0 else 3.0) in
+  let uniform, _ =
+    fresh_measurement (fun () ->
+        Fuzzer.fuzz ~server:Fsp_model.server
+          ~gen:(Fuzzer.random_bytes ~size:Fsp_model.message_size)
+          ~oracle ~budget ())
+  in
+  Format.printf "  uniform random fuzzing: %d tests in %.1fs (%.0f/min)@."
+    uniform.Fuzzer.tests uniform.Fuzzer.wall_time
+    uniform.Fuzzer.throughput_per_min;
+  Format.printf "    accepted: %d, Trojans found: %d@." uniform.Fuzzer.accepted
+    uniform.Fuzzer.trojans;
+  (* the paper's "fair" fuzzer: only the analyzed fields are fuzzed, the
+     approximated headers are held at their constants *)
+  let fair_gen rng =
+    let msg = Array.make Fsp_model.message_size (Bv.zero 8) in
+    let set_field name value =
+      let f = Layout.field Fsp_model.layout name in
+      let rec go i v =
+        if i >= 0 then begin
+          msg.(f.Layout.offset + i) <- Bv.of_int ~width:8 (v land 0xFF);
+          go (i - 1) (v lsr 8)
+        end
+      in
+      go (f.Layout.size - 1) value
+    in
+    set_field "sum" Fsp_model.sum_const;
+    set_field "bb_key" Fsp_model.key_const;
+    set_field "bb_seq" Fsp_model.seq_const;
+    set_field "bb_pos" Fsp_model.pos_const;
+    set_field "cmd"
+      (List.nth Fsp_model.commands (Random.State.int rng 8)).Fsp_model.code;
+    set_field "bb_len" (1 + Random.State.int rng 4);
+    let f = Layout.field Fsp_model.layout "buf" in
+    for i = 0 to f.Layout.size - 1 do
+      msg.(f.Layout.offset + i) <- Bv.of_int ~width:8 (Random.State.int rng 256)
+    done;
+    msg
+  in
+  let fair, _ =
+    fresh_measurement (fun () ->
+        Fuzzer.fuzz ~server:Fsp_model.server ~gen:fair_gen ~oracle
+          ~classify:(fun m ->
+            match Fsp_model.class_of_witness m with
+            | Some cls -> Some (Format.asprintf "%a" Fsp_model.pp_class cls)
+            | None -> None)
+          ~budget ())
+  in
+  Format.printf
+    "  \"fair\" fuzzing (headers fixed, 8 relevant bytes random): %d tests@."
+    fair.Fuzzer.tests;
+  Format.printf
+    "    accepted: %d, Trojans: %d, distinct Trojan types: %d of 80@."
+    fair.Fuzzer.accepted fair.Fuzzer.trojans
+    fair.Fuzzer.distinct_trojan_classes;
+  let trojan_messages = count_trojan_messages () in
+  let space = 2. ** 64. (* the 8 analyzed bytes *) in
+  let per_hour =
+    Fuzzer.expected_finds ~trojan_messages ~space
+      ~tests:(uniform.Fuzzer.throughput_per_min *. 60.)
+  in
+  Format.printf
+    "    analytic: %.3g Trojan messages in a %.3g space => %.2g expected@.\
+    \    finds per hour at the measured throughput@."
+    trojan_messages space per_hour;
+  Format.printf
+    "    (paper: 66e6 Trojans / 1.8e19 messages, 75,000 tests/min,@.\
+    \     0.00001 expected finds per hour, 4.5e6 false positives)@.";
+  let analysis, achilles_time = Lazy.force fsp_analysis in
+  let found = List.length (trojan_classes (Achilles.trojans analysis)) in
+  Format.printf
+    "@.  Achilles found all %d Trojan types in %.2fs; the fuzzer's expected@.\
+    \  yield in the same time is %.2g — %.1e times less effective, matching@.\
+    \  the paper's orders-of-magnitude gap.@."
+    found achilles_time
+    (Fuzzer.expected_finds ~trojan_messages ~space
+       ~tests:(uniform.Fuzzer.throughput_per_min /. 60. *. achilles_time))
+    (float_of_int found
+    /. max 1e-300
+         (Fuzzer.expected_finds ~trojan_messages ~space
+            ~tests:(uniform.Fuzzer.throughput_per_min /. 60. *. achilles_time)))
+
+(* --- E6: PBFT accuracy -------------------------------------------------------------- *)
+
+let pbft_config =
+  lazy
+    {
+      Search.default_config with
+      Search.mask = Some Pbft_model.analysis_mask;
+      Search.interp =
+        Local_state.over_approximate ~vars:[ ("last_rid", 16) ]
+          Interp.default_config;
+      Search.witnesses_per_path = 2;
+    }
+
+let experiment_pbft () =
+  banner "E6: PBFT — rediscovering the MAC attack (§6.2)";
+  let analysis, elapsed =
+    fresh_measurement (fun () ->
+        Achilles.analyze
+          ~search_config:(Lazy.force pbft_config)
+          ~layout:Pbft_model.layout ~clients:[ Pbft_model.client ]
+          ~server:Pbft_model.replica ())
+  in
+  let trojans = Achilles.trojans analysis in
+  let all_mac =
+    List.for_all
+      (fun (t : Search.trojan) -> Pbft_model.is_mac_trojan t.Search.witness)
+      trojans
+  in
+  Format.printf "  analysis time: %.2fs (paper: \"a few seconds\")@." elapsed;
+  Format.printf "  accepting paths: %d, all carrying the Trojan: %b@."
+    analysis.Achilles.report.Search.search_stats.Search.accepting_paths
+    (List.length trojans
+    >= analysis.Achilles.report.Search.search_stats.Search.accepting_paths);
+  Format.printf "  every witness is a bad-authenticator request: %b@." all_mac;
+  Format.printf
+    "@.  A single Trojan type (any request whose MAC differs from the@.\
+    \  constant correct clients produce), present on every accepting path,@.\
+    \  bundled with valid requests — exactly the paper's finding.@."
+
+(* --- E7: the §6.4 optimization ablation ----------------------------------------------- *)
+
+let experiment_ablation () =
+  banner "E7 / §6.4: optimized search vs non-optimized differencing";
+  let scale label command_set witnesses =
+    let commands = command_set in
+    let clients = Fsp_model.clients ~command_set:commands () in
+    let server = Fsp_model.server_for commands in
+    Format.printf "  -- %s: %d clients (%d client paths) --@." label
+      (List.length commands)
+      (4 * List.length commands);
+    let run name config =
+      let analysis, time =
+        fresh_measurement (fun () ->
+            Achilles.analyze ~search_config:config ~layout:Fsp_model.layout
+              ~clients ~server ())
+      in
+      let witnesses = List.length (Achilles.trojans analysis) in
+      let stats = analysis.Achilles.report.Search.search_stats in
+      Format.printf
+        "  %-34s %7.2fs   %d witnesses, %d alive checks (+%d transitive)@."
+        name time witnesses stats.Search.alive_checks
+        stats.Search.transitive_drops;
+      time
+    in
+    let base = { fsp_search_config with Search.witnesses_per_path = witnesses } in
+    let full = run "Achilles (all optimizations)" base in
+    let _ =
+      run "  - incremental solver sessions"
+        { base with Search.incremental_bindings = false }
+    in
+    let _ =
+      run "  - differentFrom matrix"
+        { base with Search.use_different_from = false }
+    in
+    let _ =
+      run "  - alive-set dropping"
+        {
+          base with
+          Search.use_different_from = false;
+          Search.drop_alive = false;
+        }
+    in
+    let posthoc =
+      run "non-optimized (post-hoc diff)"
+        {
+          base with
+          Search.use_different_from = false;
+          Search.drop_alive = false;
+          Search.prune_no_trojan = false;
+        }
+    in
+    Format.printf "  non-optimized / optimized = %.2fx@.@."
+      (posthoc /. max full 1e-9)
+  in
+  scale "paper scale" Fsp_model.commands 16;
+  if not !quick then
+    scale "stress scale" (Fsp_model.extended_commands 24) 16;
+  Format.printf
+    "  (paper: 2h15 non-optimized vs 1h03 optimized = 2.14x; the gap@.\
+    \  grows with the number of client path predicates, which is what the@.\
+    \  stress scale shows)@."
+
+(* --- E8: FSP impact (§6.3) -------------------------------------------------------------- *)
+
+let experiment_impact_fsp () =
+  banner "E8 / §6.3: FSP impact — wildcard and mismatched-length Trojans";
+  (* the wildcard trap *)
+  let victim = Fsp_deploy.create ~files:[ "f1"; "f2"; "bank"; "f*" ] () in
+  let r =
+    Fsp_deploy.exec victim ~command:(Fsp_deploy.command_named "del") ~arg:"f*"
+  in
+  Format.printf
+    "  correct client 'del f*'  -> expands to [%s]; files left: [%s]@."
+    (String.concat "; " r.Fsp_deploy.expanded)
+    (String.concat "; " (Fsp_deploy.list_files victim));
+  let clean = Fsp_deploy.create ~files:[ "f1"; "f2"; "bank"; "f*" ] () in
+  (match Fsp_deploy.build_message (Fsp_deploy.command_named "del") "f*" with
+  | Ok payload -> (
+      match Fsp_deploy.deliver_raw clean payload with
+      | Fsp_deploy.Accepted { affected; _ } ->
+          Format.printf
+            "  Trojan 'del f*' (literal) -> deletes [%s]; files left: [%s]@."
+            (String.concat "; " affected)
+            (String.concat "; " (Fsp_deploy.list_files clean))
+      | Fsp_deploy.Rejected -> ())
+  | Error _ -> ());
+  (* extra payload smuggling *)
+  let analysis, _ = Lazy.force fsp_analysis in
+  let smugglers =
+    List.filter
+      (fun (t : Search.trojan) ->
+        Fsp_deploy.extra_payload t.Search.witness <> "")
+      (Achilles.trojans analysis)
+  in
+  Format.printf
+    "  mismatched-length witnesses carrying covert payload: %d of %d@."
+    (List.length smugglers)
+    (List.length (Achilles.trojans analysis));
+  match smugglers with
+  | t :: _ ->
+      Format.printf "  e.g. path %S with %d covert byte(s): %s@."
+        (Fsp_deploy.effective_path t.Search.witness)
+        (String.length (Fsp_deploy.extra_payload t.Search.witness) / 2)
+        (Fsp_deploy.extra_payload t.Search.witness)
+  | [] -> ()
+
+(* --- E9: PBFT impact (§6.3) ---------------------------------------------------------------- *)
+
+let experiment_impact_pbft () =
+  banner "E9 / §6.3: PBFT impact — MAC-attack recovery cost";
+  let requests = if !quick then 100 else 500 in
+  let clean = Pbft_deploy.run_workload ~requests () in
+  Format.printf "  %-18s %9s %10s %10s %12s@." "workload" "committed"
+    "recoveries" "cost" "throughput";
+  Format.printf "  %-18s %9d %10d %10d %12.2f@." "clean"
+    clean.Pbft_deploy.committed clean.Pbft_deploy.recoveries
+    clean.Pbft_deploy.total_cost clean.Pbft_deploy.throughput;
+  List.iter
+    (fun every ->
+      let a = Pbft_deploy.run_workload ~malicious_every:every ~requests () in
+      Format.printf "  %-18s %9d %10d %10d %12.2f  (%.1fx slower)@."
+        (Printf.sprintf "1/%d bad MACs" every)
+        a.Pbft_deploy.committed a.Pbft_deploy.recoveries a.Pbft_deploy.total_cost
+        a.Pbft_deploy.throughput
+        (clean.Pbft_deploy.throughput /. a.Pbft_deploy.throughput))
+    [ 10; 4; 2 ]
+
+(* --- E10: local-state modes (§3.4) ------------------------------------------------------------ *)
+
+let experiment_local_state () =
+  banner "E10 / §3.4: the three local-state modes on the Paxos acceptor";
+  let analyze label interp =
+    let analysis, time =
+      fresh_measurement (fun () ->
+          Achilles.analyze
+            ~search_config:
+              {
+                Search.default_config with
+                Search.mask = Some [ "mtype"; "ballot"; "value" ];
+                Search.interp = interp;
+                Search.witnesses_per_path = 3;
+              }
+            ~layout:Paxos_model.layout
+            ~clients:[ Paxos_model.proposer_concrete ~value:7 ]
+            ~server:Paxos_model.acceptor ())
+    in
+    Format.printf "  %-38s %5.2fs  %d witnesses@." label time
+      (List.length (Achilles.trojans analysis))
+  in
+  analyze "concrete (promised=5)"
+    (Local_state.concrete ~prefix:(Paxos_model.phase1_prefix ~ballot:5)
+       Interp.default_config);
+  let pc, _ =
+    Client_extract.extract ~layout:Paxos_model.layout
+      [ Paxos_model.proposer_symbolic ]
+  in
+  let first = List.hd pc.Predicate.paths in
+  analyze "constructed symbolic (round 1 symbolic)"
+    (Local_state.constructed_symbolic
+       ~rounds:
+         [
+           {
+             State.dst = Term.int ~width:8 0;
+             State.payload = first.Predicate.message;
+             State.path_at_send = List.rev first.Predicate.constraints;
+             State.during_analysis = false;
+           };
+         ]
+       Interp.default_config);
+  analyze "over-approximate (promised <= 10)"
+    (Local_state.over_approximate ~vars:[ ("promised", 16) ]
+       ~constrain:(fun m ->
+         [
+           Term.ule (State.String_map.find "promised" m) (Term.int ~width:16 10);
+         ])
+       Interp.default_config);
+  Format.printf
+    "@.  One symbolic run covers what would otherwise need one concrete@.\
+    \  analysis per proposal value — the trade-off described in §3.4.@."
+
+(* --- Bechamel micro-benchmarks ------------------------------------------------------------------ *)
+
+let bechamel_benchmarks () =
+  banner "Bechamel micro-benchmarks of the analysis primitives";
+  let open Bechamel in
+  let open Toolkit in
+  (* shared fixtures *)
+  let x = Term.fresh_var ~name:"bx" (Term.Bitvec 8) in
+  let sat_query =
+    [
+      Term.ult (Term.var x) (Term.int ~width:8 100);
+      Term.ugt (Term.var x) (Term.int ~width:8 10);
+    ]
+  in
+  let unsat_query =
+    [
+      Term.ult (Term.var x) (Term.int ~width:8 10);
+      Term.ugt (Term.var x) (Term.int ~width:8 100);
+    ]
+  in
+  let mul_query =
+    let y = Term.fresh_var ~name:"by" (Term.Bitvec 8) in
+    [
+      Term.eq
+        (Term.mul (Term.var x) (Term.var y))
+        (Term.int ~width:8 143);
+      Term.ugt (Term.var x) (Term.int ~width:8 1);
+      Term.ugt (Term.var y) (Term.int ~width:8 1);
+    ]
+  in
+  let fsp_pc =
+    fst (Client_extract.extract ~layout:Fsp_model.layout (Fsp_model.clients ()))
+  in
+  let fsp_path = List.hd fsp_pc.Predicate.paths in
+  let server_vars =
+    Array.init Fsp_model.message_size (fun i ->
+        Term.fresh_var ~name:(Printf.sprintf "sb%d" i) (Term.Bitvec 8))
+  in
+  let uncached f () =
+    Solver.set_cache_enabled false;
+    let r = f () in
+    Solver.set_cache_enabled true;
+    r
+  in
+  let tests =
+    Test.make_grouped ~name:"achilles"
+      [
+        (* Table 1 machinery: the full pipeline on the working example *)
+        Test.make ~name:"table1:rw-analysis"
+          (Staged.stage (fun () ->
+               Achilles.analyze
+                 ~search_config:
+                   {
+                     Search.default_config with
+                     Search.mask = Some [ "address" ];
+                   }
+                 ~layout:Rw_example.layout ~clients:[ Rw_example.client ]
+                 ~server:Rw_example.server ()));
+        (* Figure 10 machinery: witness enumeration on one FSP accept path *)
+        Test.make ~name:"fig10:client-extraction"
+          (Staged.stage (fun () ->
+               Client_extract.extract ~layout:Fsp_model.layout
+                 [ Fsp_model.client (List.hd Fsp_model.commands) ]));
+        (* Figure 11 machinery: one alive-set solver check *)
+        Test.make ~name:"fig11:alive-check"
+          (Staged.stage
+             (uncached (fun () ->
+                  Solver.is_sat
+                    (Predicate.bind_to_server ~server_vars fsp_path))));
+        (* §6.4 machinery: negate and differentFrom primitives *)
+        Test.make ~name:"ablation:negate-path"
+          (Staged.stage (fun () ->
+               Negate.negate_path ~mask:Fsp_model.analysis_mask
+                 ~layout:Fsp_model.layout ~server_vars fsp_path));
+        (* solver primitives under everything *)
+        Test.make ~name:"solver:sat-interval"
+          (Staged.stage (uncached (fun () -> Solver.is_sat sat_query)));
+        Test.make ~name:"solver:unsat-interval"
+          (Staged.stage (uncached (fun () -> Solver.is_unsat unsat_query)));
+        Test.make ~name:"solver:sat-factoring"
+          (Staged.stage (uncached (fun () -> Solver.is_sat mul_query)));
+        Test.make ~name:"solver:cached-hit"
+          (Staged.stage (fun () -> Solver.is_sat sat_query));
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if !quick then 0.25 else 1.0))
+      ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "  %-32s %16s@." "benchmark" "time per run";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns >= 1e9 then Printf.sprintf "%8.2f  s" (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.2f ns" ns
+      in
+      Format.printf "  %-32s %16s@." name pretty)
+    rows
+
+(* --- driver ------------------------------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("table1", experiment_table1);
+    ("fig10", experiment_fig10);
+    ("fig11", experiment_fig11);
+    ("timing", experiment_timing);
+    ("fuzzing", experiment_fuzzing);
+    ("pbft", experiment_pbft);
+    ("ablation", experiment_ablation);
+    ("impact-fsp", experiment_impact_fsp);
+    ("impact-pbft", experiment_impact_pbft);
+    ("local-state", experiment_local_state);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse selected skip_bechamel = function
+    | [] -> (selected, skip_bechamel)
+    | "--quick" :: rest ->
+        quick := true;
+        parse selected skip_bechamel rest
+    | "--skip-bechamel" :: rest -> parse selected true rest
+    | "--csv" :: dir :: rest ->
+        csv_dir := Some dir;
+        parse selected skip_bechamel rest
+    | "--list" :: _ ->
+        List.iter (fun (name, _) -> print_endline name) experiments;
+        exit 0
+    | "--experiment" :: name :: rest -> parse (name :: selected) true rest
+    | "--bechamel" :: rest -> parse selected false rest
+    | arg :: _ ->
+        Format.eprintf
+          "unknown argument %s (try --list, --experiment NAME, --quick, \
+           --csv DIR, --skip-bechamel)@."
+          arg;
+        exit 2
+  in
+  let selected, skip_bechamel = parse [] false args in
+  let to_run =
+    match selected with
+    | [] -> experiments
+    | names ->
+        List.filter_map
+          (fun name ->
+            match List.assoc_opt name experiments with
+            | Some f -> Some (name, f)
+            | None ->
+                Format.eprintf "unknown experiment %s@." name;
+                exit 2)
+          (List.rev names)
+  in
+  Format.printf
+    "Achilles experiment harness — reproducing the evaluation of@.\
+     \"Finding Trojan Message Vulnerabilities in Distributed Systems\"@.\
+     (ASPLOS 2014). See EXPERIMENTS.md for the paper-vs-measured record.@.";
+  List.iter (fun (_, f) -> f ()) to_run;
+  if not skip_bechamel then bechamel_benchmarks ();
+  Format.printf "@.done.@."

@@ -1,0 +1,320 @@
+(* The achilles command-line tool: run Trojan-message analysis on the
+   bundled target systems, print client predicates, and replay witnesses.
+
+     dune exec bin/achilles_cli.exe -- analyze fsp
+     dune exec bin/achilles_cli.exe -- predicate rw
+     dune exec bin/achilles_cli.exe -- list *)
+
+open Achilles_smt
+open Achilles_symvm
+open Achilles_core
+open Achilles_targets
+module Smt_term = Term
+open Cmdliner
+
+type target = {
+  target_name : string;
+  description : string;
+  layout : Layout.t;
+  clients : Ast.program list;
+  server : Ast.program;
+  default_mask : string list option;
+  interp : Interp.config;
+  distinct_by : (Bv.t array -> Smt_term.var array -> Smt_term.t) option;
+}
+
+let targets =
+  [
+    {
+      target_name = "rw";
+      description = "the paper's working example (Figures 2-3)";
+      layout = Rw_example.layout;
+      clients = [ Rw_example.client ];
+      server = Rw_example.server;
+      default_mask = Some [ "address" ];
+      interp = Interp.default_config;
+      distinct_by = None;
+    };
+    {
+      target_name = "fsp";
+      description = "FSP file transfer protocol, 8 client utilities (§6.1)";
+      layout = Fsp_model.layout;
+      clients = Fsp_model.clients ();
+      server = Fsp_model.server;
+      default_mask = Some Fsp_model.analysis_mask;
+      interp = Interp.default_config;
+      distinct_by = Some Fsp_model.block_class;
+    };
+    {
+      target_name = "fsp-glob";
+      description = "FSP with wildcard-aware clients (the §6.3 glob bug)";
+      layout = Fsp_model.layout;
+      clients = Fsp_model.clients ~model_globbing:true ();
+      server = Fsp_model.server;
+      default_mask = Some Fsp_model.analysis_mask;
+      interp = Interp.default_config;
+      distinct_by = None;
+    };
+    {
+      target_name = "pbft";
+      description = "PBFT replica vs client (the MAC attack, §6.2)";
+      layout = Pbft_model.layout;
+      clients = [ Pbft_model.client ];
+      server = Pbft_model.replica;
+      default_mask = Some Pbft_model.analysis_mask;
+      interp =
+        Local_state.over_approximate ~vars:[ ("last_rid", 16) ]
+          Interp.default_config;
+      distinct_by = None;
+    };
+    {
+      target_name = "paxos";
+      description = "Paxos acceptor in phase 2 (local-state demo, §3.4)";
+      layout = Paxos_model.layout;
+      clients = [ Paxos_model.proposer_concrete ~value:7 ];
+      server = Paxos_model.acceptor;
+      default_mask = Some [ "mtype"; "ballot"; "value" ];
+      interp =
+        Local_state.concrete ~prefix:(Paxos_model.phase1_prefix ~ballot:5)
+          Interp.default_config;
+      distinct_by = None;
+    };
+  ]
+
+let find_target name =
+  match List.find_opt (fun t -> t.target_name = name) targets with
+  | Some t -> Ok t
+  | None ->
+      Error
+        (Printf.sprintf "unknown target %S; try: %s" name
+           (String.concat ", " (List.map (fun t -> t.target_name) targets)))
+
+(* --- common arguments ----------------------------------------------------------- *)
+
+let target_arg =
+  let doc = "Target system to analyze (see $(b,list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+
+let mask_arg =
+  let doc =
+    "Comma-separated message fields to analyze (defaults to the target's \
+     recommended mask)."
+  in
+  Arg.(value & opt (some string) None & info [ "mask" ] ~docv:"FIELDS" ~doc)
+
+let witnesses_arg =
+  let doc = "Concrete witnesses to enumerate per accepting path." in
+  Arg.(value & opt int 4 & info [ "witnesses"; "w" ] ~docv:"N" ~doc)
+
+let no_drop_arg =
+  let doc = "Disable alive-set tracking (optimization 1 of §3.3)." in
+  Arg.(value & flag & info [ "no-drop-alive" ] ~doc)
+
+let no_df_arg =
+  let doc = "Disable the differentFrom matrix (optimization 2 of §3.3)." in
+  Arg.(value & flag & info [ "no-different-from" ] ~doc)
+
+let no_prune_arg =
+  let doc = "Disable no-Trojan state pruning." in
+  Arg.(value & flag & info [ "no-prune" ] ~doc)
+
+let verbose_arg =
+  let doc = "Also print the symbolic Trojan expressions." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let explain_arg =
+  let doc =
+    "Print, for each dropped client path, the unsat core of server \
+     constraints that made it incompatible."
+  in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+let parse_mask target = function
+  | None -> target.default_mask
+  | Some s -> Some (String.split_on_char ',' s |> List.map String.trim)
+
+(* --- commands -------------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun t -> Format.printf "%-10s %s@." t.target_name t.description)
+      targets;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled target systems")
+    Term.(const run $ const ())
+
+let analyze name mask witnesses no_drop no_df no_prune verbose explain =
+  match find_target name with
+  | Error e ->
+      Format.eprintf "%s@." e;
+      1
+  | Ok target ->
+      let config =
+        {
+          Search.default_config with
+          Search.mask = parse_mask target mask;
+          Search.witnesses_per_path = witnesses;
+          Search.distinct_by = target.distinct_by;
+          Search.drop_alive = not no_drop;
+          Search.use_different_from = not no_df;
+          Search.prune_no_trojan = not no_prune;
+          Search.explain_drops = explain;
+          Search.interp = target.interp;
+        }
+      in
+      let analysis =
+        Achilles.analyze ~search_config:config ~layout:target.layout
+          ~clients:target.clients ~server:target.server ()
+      in
+      Format.printf "%a@.@." Achilles.pp_summary analysis;
+      List.iter
+        (fun (t : Search.trojan) ->
+          Format.printf "%a@." (Report.pp_trojan target.layout) t;
+          if verbose then begin
+            Format.printf "  symbolic expression:@.";
+            List.iter
+              (fun c -> Format.printf "    %a@." Smt_term.pp c)
+              t.Search.symbolic
+          end)
+        (Achilles.trojans analysis);
+      if explain then begin
+        Format.printf "@.-- why client paths were dropped --@.";
+        List.iter
+          (fun (d : Search.drop_explanation) ->
+            Format.printf "  client path %d died at server state %d because:@."
+              d.Search.dropped_path d.Search.at_state;
+            List.iter
+              (fun c -> Format.printf "    %a@." Smt_term.pp c)
+              d.Search.conflicting)
+          analysis.Achilles.report.Search.drops
+      end;
+      0
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Search a target system for Trojan messages")
+    Term.(
+      const analyze $ target_arg $ mask_arg $ witnesses_arg $ no_drop_arg
+      $ no_df_arg $ no_prune_arg $ verbose_arg $ explain_arg)
+
+let predicate name =
+  match find_target name with
+  | Error e ->
+      Format.eprintf "%s@." e;
+      1
+  | Ok target ->
+      let pc, stats =
+        Client_extract.extract ~config:target.interp ~layout:target.layout
+          target.clients
+      in
+      Format.printf "%a@." Predicate.pp_client_predicate pc;
+      Format.printf
+        "(%d programs, %d paths explored, %d messages captured, %.2fs)@.@."
+        stats.Client_extract.programs stats.Client_extract.paths_explored
+        stats.Client_extract.messages_captured stats.Client_extract.wall_time;
+      Format.printf "-- grammar summary (what correct clients put in each field) --@.";
+      Format.printf "%a@."
+        Report.pp_grammar
+        (Report.describe_grammar ?mask:target.default_mask pc);
+      0
+
+let predicate_cmd =
+  Cmd.v
+    (Cmd.info "predicate"
+       ~doc:"Extract and print a target's client predicate PC")
+    Term.(const predicate $ target_arg)
+
+let conformance name =
+  match find_target name with
+  | Error e ->
+      Format.eprintf "%s@." e;
+      1
+  | Ok target ->
+      let pc, _ =
+        Client_extract.extract ~config:target.interp ~layout:target.layout
+          target.clients
+      in
+      let report =
+        Conformance.run ~interp:target.interp ~max_per_path:2 ~client:pc
+          ~server:target.server ()
+      in
+      Format.printf "%a@." (Conformance.pp_report target.layout) report;
+      0
+
+let conformance_cmd =
+  Cmd.v
+    (Cmd.info "conformance"
+       ~doc:
+         "Find lost messages: messages correct clients generate that the \
+          server rejects (the dual of the Trojan difference)")
+    Term.(const conformance $ target_arg)
+
+let show name =
+  match find_target name with
+  | Error e ->
+      Format.eprintf "%s@." e;
+      1
+  | Ok target ->
+      Format.printf "%a@.@." Layout.pp target.layout;
+      Format.printf "%a@.@." Pp.pp_program target.server;
+      List.iter
+        (fun client -> Format.printf "%a@.@." Pp.pp_program client)
+        target.clients;
+      0
+
+let show_cmd =
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Print a target's message layout and programs as pseudo-C")
+    Term.(const show $ target_arg)
+
+let replay name witnesses =
+  match find_target name with
+  | Error e ->
+      Format.eprintf "%s@." e;
+      1
+  | Ok target ->
+      let config =
+        {
+          Search.default_config with
+          Search.mask = target.default_mask;
+          Search.witnesses_per_path = witnesses;
+          Search.distinct_by = target.distinct_by;
+          Search.interp = target.interp;
+        }
+      in
+      let analysis =
+        Achilles.analyze ~search_config:config ~layout:target.layout
+          ~clients:target.clients ~server:target.server ()
+      in
+      let trojans = Achilles.trojans analysis in
+      let confirmation =
+        Achilles_runtime.Inject.confirm ~server:target.server trojans
+      in
+      Format.printf "%a@." Achilles_runtime.Inject.pp_confirmation confirmation;
+      if confirmation.Achilles_runtime.Inject.rejected > 0 then 1 else 0
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Analyze, then replay every discovered witness against the \
+          concretely executed server (fire-drill mode)")
+    Term.(const replay $ target_arg $ witnesses_arg)
+
+let () =
+  let doc = "find Trojan messages in distributed system implementations" in
+  let info = Cmd.info "achilles" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            list_cmd;
+            analyze_cmd;
+            predicate_cmd;
+            replay_cmd;
+            show_cmd;
+            conformance_cmd;
+          ]))

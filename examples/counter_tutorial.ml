@@ -1,0 +1,55 @@
+(* The complete program from docs/TUTORIAL.md, kept compiling so the
+   tutorial cannot rot: a counter service whose server forgets the lower
+   bound on the amount and ignores the flags byte.
+
+     dune exec examples/counter_tutorial.exe *)
+
+open Achilles_symvm
+open Achilles_core
+
+let layout =
+  Layout.make ~name:"counter" [ ("op", 1); ("amount", 2); ("flags", 1) ]
+
+let client =
+  let open Builder in
+  prog "counter-client" ~buffers:[ ("msg", 4) ]
+    (List.concat
+       [
+         [
+           read_input "amount" ~width:16;
+           when_ (v "amount" <: i16 1) [ halt ];
+           when_ (v "amount" >: i16 10) [ halt ];
+         ];
+         Layout.store_field layout "op" ~buf:"msg" ~value:(i8 1);
+         Layout.store_field layout "amount" ~buf:"msg" ~value:(v "amount");
+         Layout.store_field layout "flags" ~buf:"msg" ~value:(i8 0);
+         [ send (i8 0) "msg"; halt ];
+       ])
+
+let server =
+  let open Builder in
+  let field name = Layout.field_expr layout name ~buf:"msg" in
+  prog "counter-server" ~globals:[ ("counter", 16) ]
+    ~buffers:[ ("msg", 4); ("ack", 1) ]
+    [
+      receive "msg";
+      when_ (field "op" <>: i8 1) [ mark_reject "bad-op" ];
+      when_ (field "amount" >: i16 100) [ mark_reject "too-big" ];
+      set "counter" (v "counter" +: field "amount");
+      send (i8 1) "ack";
+      mark_accept "add";
+    ]
+
+let () =
+  let analysis =
+    Achilles.analyze
+      ~search_config:
+        { Search.default_config with Search.witnesses_per_path = 4 }
+      ~layout ~clients:[ client ] ~server ()
+  in
+  Format.printf "%a@.@." Achilles.pp_summary analysis;
+  List.iter
+    (fun t -> Format.printf "%a@." (Report.pp_trojan layout) t)
+    (Achilles.trojans analysis);
+  Format.printf "@.-- client grammar --@.%a@." Report.pp_grammar
+    (Report.describe_grammar analysis.Achilles.client)

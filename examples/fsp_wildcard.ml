@@ -1,0 +1,93 @@
+(* The FSP wildcard bug (§6.3), end to end.
+
+   1. Analyze the FSP server against wildcard-aware clients: since clients
+      always glob-expand '*' (with no escape syntax), no correct client can
+      send a literal '*' in a source path — yet the server accepts any
+      printable character. Achilles produces such a message as a Trojan.
+   2. Show how the trap springs in a live deployment: a bit flip creates a
+      file named "f*" on the server, and the only way a correct client can
+      remove it destroys every other f-prefixed file along the way. The
+      Trojan message deletes it surgically.
+
+     dune exec examples/fsp_wildcard.exe *)
+
+open Achilles_smt
+open Achilles_core
+open Achilles_runtime
+open Achilles_targets
+
+let show t = Format.printf "   server files: [%s]@." (String.concat "; " (Fsp_deploy.list_files t))
+
+let () =
+  Format.printf "=== FSP wildcard Trojan (§6.3) ===@.@.";
+
+  Format.printf "1. Analysis with glob-aware clients...@.";
+  let config =
+    {
+      Search.default_config with
+      Search.mask = Some Fsp_model.analysis_mask;
+      Search.witnesses_per_path = 30;
+    }
+  in
+  let clients = Fsp_model.clients ~model_globbing:true () in
+  let analysis =
+    Achilles.analyze ~search_config:config ~layout:Fsp_model.layout ~clients
+      ~server:Fsp_model.server ()
+  in
+  let trojans = Achilles.trojans analysis in
+  let wildcarded =
+    List.filter
+      (fun (t : Search.trojan) -> Fsp_model.contains_wildcard t.Search.witness)
+      trojans
+  in
+  Format.printf "   %d Trojan witnesses, %d carrying a literal '*'@."
+    (List.length trojans) (List.length wildcarded);
+  (match wildcarded with
+  | t :: _ ->
+      Format.printf "   a wildcard Trojan, as found by the analysis:@.%a@."
+        (Report.pp_witness Fsp_model.layout)
+        t.Search.witness
+  | [] -> Format.printf "   (no wildcard witness in this run)@.");
+
+  Format.printf "@.2. How the trap is created: one bit flip in flight.@.";
+  Format.printf "   'j' = 0x%02x, '*' = 0x%02x — they differ in a single bit.@."
+    (Char.code 'j') (Char.code '*');
+  let deploy = Fsp_deploy.create ~files:[ "f1"; "f2"; "bank" ] () in
+  show deploy;
+  (match Fsp_deploy.build_message (Fsp_deploy.command_named "put") "fj" with
+  | Ok payload ->
+      let f = Achilles_symvm.Layout.field Fsp_model.layout "buf" in
+      payload.(f.Achilles_symvm.Layout.offset + 1) <-
+        Bv.logxor payload.(f.Achilles_symvm.Layout.offset + 1)
+          (Bv.of_int ~width:8 0x40);
+      (match Fsp_deploy.deliver_raw deploy payload with
+      | Fsp_deploy.Accepted { path; _ } ->
+          Format.printf "   client sent 'put fj'; the server received 'put %s'@." path
+      | Fsp_deploy.Rejected -> Format.printf "   rejected?!@.")
+  | Error e -> Format.printf "   %s@." e);
+  show deploy;
+
+  Format.printf "@.3. A correct client cannot remove 'f*' safely:@.";
+  let victim = Fsp_deploy.create ~files:[ "f1"; "f2"; "bank"; "f*" ] () in
+  let r =
+    Fsp_deploy.exec victim ~command:(Fsp_deploy.command_named "del") ~arg:"f*"
+  in
+  Format.printf "   'del f*' glob-expanded to: [%s]@."
+    (String.concat "; " r.Fsp_deploy.expanded);
+  show victim;
+  Format.printf "   ... f1 and f2 are gone too (no escape syntax exists).@.";
+
+  Format.printf "@.4. The Trojan message removes it surgically:@.";
+  let clean = Fsp_deploy.create ~files:[ "f1"; "f2"; "bank"; "f*" ] () in
+  (match Fsp_deploy.build_message (Fsp_deploy.command_named "del") "f*" with
+  | Ok payload -> (
+      match Fsp_deploy.deliver_raw clean payload with
+      | Fsp_deploy.Accepted { affected; _ } ->
+          Format.printf "   injected literal 'del f*': deleted [%s]@."
+            (String.concat "; " affected)
+      | Fsp_deploy.Rejected -> Format.printf "   rejected?!@.")
+  | Error e -> Format.printf "   %s@." e);
+  show clean;
+  Format.printf
+    "@.A semantic bug: nothing crashes, no memory is corrupted — which is@.\
+     why only the client/server predicate difference exposes it.@."

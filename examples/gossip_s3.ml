@@ -1,0 +1,95 @@
+(* The paper's opening story (§1) end to end: the Amazon-S3-style gossip
+   corruption, found as a Trojan message under Concrete Local State (§3.4)
+   and fixed exactly the way the post-mortem describes.
+
+     dune exec examples/gossip_s3.exe *)
+
+open Achilles_smt
+open Achilles_core
+open Achilles_symvm
+open Achilles_runtime
+open Achilles_targets
+
+let observed = 2 (* this deployment has seen two failures *)
+
+let analyze ~hardened =
+  (* Concrete Local State: run each reporter through the deployment's
+     failure trace, then analyze the gossip round from that state *)
+  let client_interp =
+    Local_state.concrete
+      ~incoming:(List.init observed (fun _ -> Gossip_model.failure_event))
+      ~prefix:Gossip_model.reporter_prefix Interp.default_config
+  in
+  let config =
+    {
+      Search.default_config with
+      Search.mask = Some Gossip_model.analysis_mask;
+      Search.witnesses_per_path = 6;
+    }
+  in
+  Achilles.analyze ~search_config:config ~client_interp
+    ~layout:Gossip_model.layout ~clients:[ Gossip_model.reporter ]
+    ~server:(Gossip_model.aggregator ~hardened ()) ()
+
+let () =
+  Format.printf "=== Gossip state corruption: the Amazon S3 scenario (§1) ===@.@.";
+  Format.printf
+    "Deployment: %d reporters, %d observed failures this epoch. Correct@.\
+     reporters therefore gossip count = %d and nothing else.@.@."
+    Gossip_model.n_reporters observed observed;
+
+  Format.printf "1. Achilles, Concrete Local State mode:@.";
+  let analysis = analyze ~hardened:false in
+  let trojans = Achilles.trojans analysis in
+  Format.printf "   %d Trojan report witnesses, e.g.:@." (List.length trojans);
+  (match trojans with
+  | t :: _ ->
+      Format.printf "%a@." (Report.pp_witness Gossip_model.layout) t.Search.witness;
+      Format.printf "   every witness reports a count <> %d: %b@.@." observed
+        (List.for_all
+           (fun (t : Search.trojan) ->
+             Gossip_model.is_trojan ~observed t.Search.witness)
+           trojans)
+  | [] -> ());
+
+  Format.printf "2. The failure in flight: one corrupted bit, still intelligible.@.";
+  let aggregator_node = Node.create (Gossip_model.aggregator ()) in
+  let net = Net.create () in
+  Net.add_node net ~addr:0 aggregator_node;
+  (* a correct reporter's message, with bit 6 of the count byte flipped:
+     count 2 becomes 66 *)
+  let f = Layout.field Gossip_model.layout "count" in
+  Net.set_fault net (Some (Net.bit_flip_fault ~byte:f.Layout.offset ~bit:6 ()));
+  let report =
+    let bytes = Array.make Gossip_model.message_size (Bv.zero 8) in
+    bytes.(0) <- Bv.of_int ~width:8 Gossip_model.msg_report;
+    bytes.(1) <- Bv.of_int ~width:8 1;
+    bytes.(2) <- Bv.of_int ~width:8 observed;
+    bytes.(3) <- Bv.zero 8;
+    bytes.(4) <- Bv.of_int ~width:8 Gossip_model.current_epoch;
+    bytes
+  in
+  Net.inject net ~dst:0 report;
+  ignore (Net.run_to_quiescence net);
+  let merged = List.assoc "merged_count" (Node.globals aggregator_node) in
+  let emergency = List.assoc "emergency" (Node.globals aggregator_node) in
+  Format.printf
+    "   reporter sent count=%d; the aggregator merged count=%Ld and@.\
+    \   emergency mode is now %s — corruption propagated into shared state.@.@."
+    observed (Bv.value merged)
+    (if Bv.value emergency = 1L then "ON" else "off");
+
+  Format.printf "3. The post-mortem fix: reject implausible counts.@.";
+  let hardened = analyze ~hardened:true in
+  Format.printf
+    "   hardened aggregator: %d Trojan witnesses remain (counts within the@.\
+    \   cluster size but wrong for this scenario — scenario-specific checks@.\
+    \   would be needed to close those too).@."
+    (List.length (Achilles.trojans hardened));
+  let node = Node.create (Gossip_model.aggregator ~hardened:true ()) in
+  let corrupted = Array.copy report in
+  corrupted.(f.Layout.offset) <-
+    Bv.logxor corrupted.(f.Layout.offset) (Bv.of_int ~width:8 0x40);
+  let outcome = Node.deliver node corrupted in
+  Format.printf "   the corrupted report is now: %s@."
+    (State.status_string outcome.Concrete.status)

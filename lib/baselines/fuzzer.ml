@@ -1,0 +1,63 @@
+open Achilles_smt
+open Achilles_symvm
+
+type verdict = Trojan | Valid | Rejected
+
+type result = {
+  tests : int;
+  accepted : int;
+  trojans : int;
+  distinct_trojan_classes : int;
+  wall_time : float;
+  throughput_per_min : float;
+}
+
+let random_bytes ~size rng =
+  Array.init size (fun _ -> Bv.of_int ~width:8 (Random.State.int rng 256))
+
+let fuzz ?(seed = 42) ~server ?(initial_globals = []) ~gen ~oracle ?classify
+    ~budget () =
+  let rng = Random.State.make [| seed |] in
+  let t0 = Unix.gettimeofday () in
+  let continue tests =
+    match budget with
+    | `Tests n -> tests < n
+    | `Seconds s -> Unix.gettimeofday () -. t0 < s
+  in
+  let tests = ref 0 in
+  let accepted = ref 0 in
+  let trojans = ref 0 in
+  let classes = Hashtbl.create 16 in
+  while continue !tests do
+    incr tests;
+    let message = gen rng in
+    let outcome =
+      Concrete.run ~incoming:[ message ] ~initial_globals server
+    in
+    if Concrete.accepted outcome then begin
+      incr accepted;
+      match oracle message with
+      | Trojan ->
+          incr trojans;
+          (match classify with
+          | Some f -> (
+              match f message with
+              | Some key -> Hashtbl.replace classes key ()
+              | None -> ())
+          | None -> ())
+      | Valid | Rejected -> ()
+    end
+  done;
+  let wall_time = Unix.gettimeofday () -. t0 in
+  {
+    tests = !tests;
+    accepted = !accepted;
+    trojans = !trojans;
+    distinct_trojan_classes = Hashtbl.length classes;
+    wall_time;
+    throughput_per_min =
+      (if wall_time > 0. then float_of_int !tests /. wall_time *. 60. else 0.);
+  }
+
+let expected_finds ~trojan_messages ~space ~tests =
+  tests *. trojan_messages /. space

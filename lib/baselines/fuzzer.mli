@@ -1,0 +1,41 @@
+(** Black-box fuzzing baseline (§6.2).
+
+    Random messages are thrown at the concretely executed server; the run
+    records throughput, how many messages were accepted, and — judged by an
+    external oracle the fuzzer itself does not have — how many of the
+    accepted messages were actually Trojan. The analytic helpers reproduce
+    the paper's expected-discovery arithmetic. *)
+
+open Achilles_smt
+open Achilles_symvm
+
+type verdict = Trojan | Valid | Rejected
+
+type result = {
+  tests : int;
+  accepted : int; (* messages the server accepted: the fuzzer's "findings" *)
+  trojans : int; (* accepted messages that really are Trojan (oracle) *)
+  distinct_trojan_classes : int;
+  wall_time : float;
+  throughput_per_min : float;
+}
+
+val fuzz :
+  ?seed:int ->
+  server:Ast.program ->
+  ?initial_globals:(string * Bv.t) list ->
+  gen:(Random.State.t -> Bv.t array) ->
+  oracle:(Bv.t array -> verdict) ->
+  ?classify:(Bv.t array -> string option) ->
+  budget:[ `Tests of int | `Seconds of float ] ->
+  unit ->
+  result
+
+val random_bytes : size:int -> Random.State.t -> Bv.t array
+(** Uniform random message bytes. *)
+
+val expected_finds :
+  trojan_messages:float -> space:float -> tests:float -> float
+(** Expected number of Trojan messages hit by [tests] uniform draws from a
+    [space]-sized message space containing [trojan_messages] Trojans — the
+    paper's 0.00001-per-hour arithmetic. *)

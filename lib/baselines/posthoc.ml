@@ -1,0 +1,24 @@
+open Achilles_core
+
+type result = { analysis : Achilles.analysis; total_time : float }
+
+let run ?mask ?(witnesses_per_path = 1) ?distinct_by ~layout ~clients ~server
+    () =
+  let t0 = Unix.gettimeofday () in
+  let config =
+    {
+      Search.default_config with
+      (* every Achilles-specific optimization disabled: vanilla exploration,
+         differencing only once a path reaches its accept marker *)
+      Search.drop_alive = false;
+      Search.use_different_from = false;
+      Search.prune_no_trojan = false;
+      Search.mask = mask;
+      Search.witnesses_per_path = witnesses_per_path;
+      Search.distinct_by = distinct_by;
+    }
+  in
+  let analysis =
+    Achilles.analyze ~search_config:config ~layout ~clients ~server ()
+  in
+  { analysis; total_time = Unix.gettimeofday () -. t0 }

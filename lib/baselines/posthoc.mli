@@ -1,0 +1,26 @@
+(** Non-optimized symbolic constraint differencing, the §6.4 comparison.
+
+    Runs unmodified symbolic execution on the clients and the server (no
+    alive-set tracking, no differentFrom matrix, no state pruning) and only
+    afterwards combines each accepting server path with the negation of
+    every client path predicate. Functionally equivalent to Achilles but
+    pays the full differencing cost on every accepting path — the paper
+    measured 2h15 for this against Achilles' 1h03. *)
+
+open Achilles_symvm
+
+type result = {
+  analysis : Achilles_core.Achilles.analysis;
+  total_time : float;
+}
+
+val run :
+  ?mask:string list ->
+  ?witnesses_per_path:int ->
+  ?distinct_by:
+    (Achilles_smt.Bv.t array -> Achilles_smt.Term.var array -> Achilles_smt.Term.t) ->
+  layout:Layout.t ->
+  clients:Ast.program list ->
+  server:Ast.program ->
+  unit ->
+  result

@@ -1,0 +1,75 @@
+open Achilles_symvm
+
+type timing = {
+  client_extraction : float;
+  preprocessing : float;
+  server_analysis : float;
+}
+
+type analysis = {
+  client : Predicate.client_predicate;
+  client_stats : Client_extract.stats;
+  different_from : Different_from.t option;
+  different_from_stats : Different_from.stats option;
+  report : Search.report;
+  timing : timing;
+}
+
+let analyze ?(search_config = Search.default_config)
+    ?(client_interp = Interp.default_config) ~layout ~clients ~server () =
+  let client, client_stats =
+    Client_extract.extract ~config:client_interp ~layout clients
+  in
+  let different_from, different_from_stats, preprocessing =
+    if search_config.Search.use_different_from then begin
+      let df, stats =
+        Different_from.compute ?mask:search_config.Search.mask client
+      in
+      (Some df, Some stats, stats.Different_from.wall_time)
+    end
+    else (None, None, 0.)
+  in
+  let report =
+    Search.run ~config:search_config ?different_from ~client ~server ()
+  in
+  {
+    client;
+    client_stats;
+    different_from;
+    different_from_stats;
+    report;
+    timing =
+      {
+        client_extraction = client_stats.Client_extract.wall_time;
+        preprocessing;
+        server_analysis = report.Search.search_stats.Search.wall_time;
+      };
+  }
+
+let trojans analysis = analysis.report.Search.trojans
+
+let pp_summary fmt analysis =
+  let stats = analysis.report.Search.search_stats in
+  Format.fprintf fmt
+    "@[<v>Achilles analysis summary@,\
+     \  client paths:        %d (from %d programs, %.2fs)@,\
+     \  preprocessing:       %.2fs%s@,\
+     \  server analysis:     %.2fs@,\
+     \  accepting paths:     %d@,\
+     \  rejecting paths:     %d@,\
+     \  states pruned:       %d@,\
+     \  alive-set checks:    %d (+%d transitive drops)@,\
+     \  Trojan witnesses:    %d@]"
+    (Predicate.client_path_count analysis.client)
+    analysis.client_stats.Client_extract.programs
+    analysis.timing.client_extraction analysis.timing.preprocessing
+    (match analysis.different_from_stats with
+    | Some s ->
+        Printf.sprintf " (%d pair checks, %d fields)"
+          s.Different_from.pairs_checked
+          (List.length s.Different_from.fields_covered)
+    | None -> " (skipped)")
+    analysis.timing.server_analysis stats.Search.accepting_paths
+    stats.Search.rejecting_paths stats.Search.pruned_states
+    stats.Search.alive_checks stats.Search.transitive_drops
+    (List.length analysis.report.Search.trojans)

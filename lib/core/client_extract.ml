@@ -1,0 +1,50 @@
+open Achilles_symvm
+
+type stats = {
+  programs : int;
+  paths_explored : int;
+  messages_captured : int;
+  wall_time : float;
+}
+
+let extract ?(config = Interp.default_config) ~layout programs =
+  let t0 = Unix.gettimeofday () in
+  let captured = ref [] in
+  let paths_explored = ref 0 in
+  let capture source (message : State.message) =
+    if Array.length message.State.payload <> Layout.total_size layout then
+      invalid_arg
+        (Printf.sprintf
+           "Client_extract: %s sent a %d-byte message; layout %s is %d bytes"
+           source
+           (Array.length message.State.payload)
+           (Layout.name layout) (Layout.total_size layout));
+    captured :=
+      (source, message.State.payload, message.State.path_at_send) :: !captured
+  in
+  List.iter
+    (fun (program : Ast.program) ->
+      let hooks =
+        {
+          Interp.default_hooks with
+          Interp.on_send = (fun _st msg -> capture program.Ast.prog_name msg);
+          Interp.on_terminal = (fun _ -> incr paths_explored);
+        }
+      in
+      ignore (Interp.run ~config ~hooks program))
+    programs;
+  let paths =
+    List.rev !captured
+    |> List.mapi (fun cp_id (source, message, constraints) ->
+           { Predicate.cp_id; source; message; constraints })
+  in
+  let predicate = { Predicate.layout; paths } in
+  let stats =
+    {
+      programs = List.length programs;
+      paths_explored = !paths_explored;
+      messages_captured = List.length paths;
+      wall_time = Unix.gettimeofday () -. t0;
+    }
+  in
+  (predicate, stats)

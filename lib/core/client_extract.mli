@@ -1,0 +1,24 @@
+(** Phase one of Achilles: extract the client predicate [PC].
+
+    Each client program runs in a symbolic environment — every local input
+    becomes unconstrained symbolic data — and every message it sends is
+    captured together with the path constraints in force at the send
+    (§3.1). Several client programs (e.g. the FSP command-line utilities)
+    contribute paths to a single client predicate. *)
+
+open Achilles_symvm
+
+type stats = {
+  programs : int;
+  paths_explored : int; (* terminal client states *)
+  messages_captured : int;
+  wall_time : float;
+}
+
+val extract :
+  ?config:Interp.config ->
+  layout:Layout.t ->
+  Ast.program list ->
+  Predicate.client_predicate * stats
+(** Raises [Invalid_argument] if a client sends a message whose size does
+    not match the layout. *)

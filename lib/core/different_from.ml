@@ -1,0 +1,99 @@
+open Achilles_smt
+open Achilles_symvm
+
+type t = {
+  layout : Layout.t;
+  fields : string list;
+  n_paths : int;
+  (* matrix.(field_index).(i * n_paths + j) *)
+  matrix : (string * bool array) list;
+}
+
+type stats = {
+  fields_covered : string list;
+  pairs_checked : int;
+  wall_time : float;
+}
+
+(* Does path [i] have a field value outside path [j]'s set? Checked as
+   SAT(x = value_i /\ constraints_i /\ negate_field_j(x)) with [x] a shared
+   fresh field-sized variable. *)
+let check_pair ~layout field_name (pi : Predicate.client_path)
+    (pj : Predicate.client_path) =
+  let f = Layout.field layout field_name in
+  let x = Term.var (Term.fresh_var ~name:("df_" ^ field_name) (Term.Bitvec (8 * f.Layout.size))) in
+  match Negate.negate_field ~layout ~target:x pj field_name with
+  | None -> false (* j's field is unconstrained symbolic: nothing escapes it *)
+  | Some negation ->
+      let value_i = Layout.field_term layout pi.Predicate.message field_name in
+      let constraints_i =
+        Negate.related_constraints pi (Term.var_ids value_i)
+      in
+      Solver.is_sat (Term.eq x value_i :: negation :: constraints_i)
+
+(* Alpha-canonical signature of a path's field: the field value term plus
+   its related constraints with variables renamed to their order of first
+   occurrence. Client utilities built from the same code produce identical
+   signatures with different fresh variables; pair checks are memoized on
+   the signature pair, which collapses the quadratic blow-up. *)
+let field_signature ~layout field_name (p : Predicate.client_path) =
+  let value = Layout.field_term layout p.Predicate.message field_name in
+  let constraints = Negate.related_constraints p (Term.var_ids value) in
+  Term.alpha_key (value :: constraints)
+
+let compute ?(memoize = true) ?mask (pc : Predicate.client_predicate) =
+  let t0 = Unix.gettimeofday () in
+  let layout = pc.Predicate.layout in
+  let fields = Predicate.independent_fields ?mask pc in
+  let paths = Array.of_list pc.Predicate.paths in
+  let n = Array.length paths in
+  let pairs_checked = ref 0 in
+  let matrix =
+    List.map
+      (fun field_name ->
+        let signature =
+          Array.map (fun p -> field_signature ~layout field_name p) paths
+        in
+        let memo : (string * string, bool) Hashtbl.t = Hashtbl.create 64 in
+        let cells = Array.make (n * n) false in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if i <> j then begin
+              let key = (signature.(i), signature.(j)) in
+              let result =
+                match if memoize then Hashtbl.find_opt memo key else None with
+                | Some r -> r
+                | None ->
+                    incr pairs_checked;
+                    let r = check_pair ~layout field_name paths.(i) paths.(j) in
+                    if memoize then Hashtbl.replace memo key r;
+                    r
+              in
+              cells.((i * n) + j) <- result
+            end
+          done
+        done;
+        (field_name, cells))
+      fields
+  in
+  let t = { layout; fields; n_paths = n; matrix } in
+  let stats =
+    {
+      fields_covered = fields;
+      pairs_checked = !pairs_checked;
+      wall_time = Unix.gettimeofday () -. t0;
+    }
+  in
+  (t, stats)
+
+let covers_field t name = List.mem name t.fields
+
+let different t ~i ~j ~field =
+  match List.assoc_opt field t.matrix with
+  | None -> false
+  | Some cells ->
+      if i < 0 || j < 0 || i >= t.n_paths || j >= t.n_paths then
+        invalid_arg "Different_from.different: path index out of range"
+      else i <> j && cells.((i * t.n_paths) + j)
+
+let layout t = t.layout

@@ -1,0 +1,44 @@
+open Achilles_smt
+open Achilles_symvm
+
+let concrete ?(inputs = []) ?(incoming = []) ~prefix (config : Interp.config) =
+  let outcome = Concrete.run ~inputs ~incoming prefix in
+  (match outcome.Concrete.status with
+  | State.Crashed msg ->
+      invalid_arg (Printf.sprintf "Local_state.concrete: prefix crashed: %s" msg)
+  | _ -> ());
+  let initial_globals =
+    List.map
+      (fun (name, bv) -> (name, Term.const bv))
+      outcome.Concrete.globals
+  in
+  { config with Interp.initial_globals }
+
+let constructed_symbolic ~rounds (config : Interp.config) =
+  let preload_messages =
+    config.Interp.preload_messages
+    @ List.map (fun (m : State.message) -> m.State.payload) rounds
+  in
+  let initial_path =
+    config.Interp.initial_path
+    @ List.concat_map (fun (m : State.message) -> List.rev m.State.path_at_send) rounds
+  in
+  { config with Interp.preload_messages; Interp.initial_path }
+
+let over_approximate ~vars ?(constrain = fun _ -> []) (config : Interp.config) =
+  let bindings =
+    List.map
+      (fun (name, width) ->
+        (name, Term.var (Term.fresh_var ~name (Term.Bitvec width))))
+      vars
+  in
+  let map =
+    List.fold_left
+      (fun m (name, t) -> State.String_map.add name t m)
+      State.String_map.empty bindings
+  in
+  {
+    config with
+    Interp.initial_globals = config.Interp.initial_globals @ bindings;
+    Interp.initial_path = config.Interp.initial_path @ constrain map;
+  }

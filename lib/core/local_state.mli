@@ -1,0 +1,45 @@
+(** The three local-state modes of §3.4.
+
+    Servers whose predicate depends on state built across earlier message
+    rounds need that state controlled before the analysis:
+
+    - {b Concrete}: run the node concretely through a prefix of the
+      protocol (earlier rounds, configuration, ...) and analyze from the
+      resulting concrete state.
+    - {b Constructed symbolic}: run a client symbolically and deliver its
+      captured {e symbolic} message(s) to the server before the analyzed
+      round, so the local state holds symbolic expressions covering every
+      concrete scenario at once.
+    - {b Over-approximate}: declare chosen globals as unconstrained (or
+      constrained) fresh symbolic values, standing in for "any state the
+      data structure could hold".
+
+    Each mode is expressed as a transformation of the interpreter
+    configuration used for the server analysis. *)
+
+open Achilles_smt
+open Achilles_symvm
+
+val concrete :
+  ?inputs:Bv.t list ->
+  ?incoming:Bv.t array list ->
+  prefix:Ast.program ->
+  Interp.config ->
+  Interp.config
+(** Run [prefix] concretely; its final global values become the initial
+    globals of the analysis. Raises [Invalid_argument] if the prefix
+    crashes. *)
+
+val constructed_symbolic :
+  rounds:State.message list -> Interp.config -> Interp.config
+(** Deliver previously captured symbolic messages (with their path
+    constraints) to the server before the analyzed round. *)
+
+val over_approximate :
+  vars:(string * int) list ->
+  ?constrain:(Term.t Achilles_symvm.State.String_map.t -> Term.t list) ->
+  Interp.config ->
+  Interp.config
+(** Replace each named global (width in bits) with a fresh symbolic value;
+    [constrain] may add initial path constraints over those values (it
+    receives the name-to-term mapping of the overridden globals). *)

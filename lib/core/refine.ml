@@ -1,0 +1,38 @@
+open Achilles_smt
+
+let generable_by ~client witness =
+  let layout = client.Predicate.layout in
+  if Array.length witness <> Achilles_symvm.Layout.total_size layout then
+    invalid_arg "Refine.generable_by: message size mismatch";
+  let produces (path : Predicate.client_path) =
+    let equalities =
+      Array.to_list
+        (Array.mapi
+           (fun i byte -> Term.eq path.Predicate.message.(i) (Term.const byte))
+           witness)
+    in
+    Solver.is_sat (equalities @ path.Predicate.constraints)
+  in
+  List.find_opt produces client.Predicate.paths
+  |> Option.map (fun (p : Predicate.client_path) -> p.Predicate.cp_id)
+
+type result = {
+  confirmed : Search.trojan list;
+  refuted : (Search.trojan * int) list;
+}
+
+let refine ~client trojans =
+  let confirmed, refuted =
+    List.fold_left
+      (fun (confirmed, refuted) (t : Search.trojan) ->
+        match generable_by ~client t.Search.witness with
+        | None -> (t :: confirmed, refuted)
+        | Some path_id -> (confirmed, (t, path_id) :: refuted))
+      ([], []) trojans
+  in
+  { confirmed = List.rev confirmed; refuted = List.rev refuted }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "refinement: %d witnesses confirmed as Trojan, %d refuted as generable"
+    (List.length r.confirmed) (List.length r.refuted)

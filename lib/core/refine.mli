@@ -1,0 +1,32 @@
+(** Witness refinement — the future work sketched in §4.1.
+
+    The paper proposes using the expressions that define Trojan messages to
+    guide a focused re-execution of the client, CEGAR-style, and eliminate
+    false positives. This module implements the focused check: for each
+    concrete witness, ask the solver whether {e any} extracted client path
+    can produce exactly those bytes. A witness some path can produce is a
+    false positive (possible when the negate overlap check is disabled, or
+    when symbolic execution of the client was itself incomplete on the
+    captured paths) and is refuted.
+
+    The check is exact with respect to the extracted client predicate; the
+    paper's caveat stands: client paths that were never explored can still
+    cause false positives this refinement cannot see. *)
+
+open Achilles_smt
+
+val generable_by :
+  client:Predicate.client_predicate -> Bv.t array -> int option
+(** The id of a client path that can generate exactly this message, if one
+    exists. Raises [Invalid_argument] if the message size does not match
+    the predicate's layout. *)
+
+type result = {
+  confirmed : Search.trojan list; (* no client path produces them *)
+  refuted : (Search.trojan * int) list; (* witness, producing path id *)
+}
+
+val refine :
+  client:Predicate.client_predicate -> Search.trojan list -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,204 @@
+open Achilles_smt
+open Achilles_symvm
+
+let pp_witness layout fmt witness =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (f : Layout.field) ->
+      if f.Layout.size > 8 then begin
+        Format.fprintf fmt "  %-14s =" f.Layout.field_name;
+        Array.iter
+          (fun b -> Format.fprintf fmt " %02Lx" (Bv.value b))
+          (Layout.field_bytes layout witness f.Layout.field_name);
+        Format.fprintf fmt "@,"
+      end
+      else
+        let value = Layout.field_value layout witness f.Layout.field_name in
+        let printable =
+          if f.Layout.size = 1 then
+            let code = Bv.to_int value in
+            if code >= 32 && code < 127 then
+              Printf.sprintf " %C" (Char.chr code)
+            else ""
+          else ""
+        in
+        Format.fprintf fmt "  %-14s = %a%s@," f.Layout.field_name Bv.pp value
+          printable)
+    (Layout.fields layout);
+  Format.fprintf fmt "@]"
+
+let pp_trojan layout fmt (t : Search.trojan) =
+  Format.fprintf fmt
+    "@[<v>Trojan message (server path %d, accept label %S, found at %.2fs):@,%a@]"
+    t.Search.server_state_id t.Search.accept_label t.Search.found_at
+    (pp_witness layout) t.Search.witness
+
+let discovery_curve ~total trojans =
+  let total = max total 1 in
+  List.mapi
+    (fun i (t : Search.trojan) ->
+      (t.Search.found_at, 100. *. float_of_int (i + 1) /. float_of_int total))
+    trojans
+
+let alive_scatter (stats : Search.stats) =
+  List.map
+    (fun (s : Search.alive_sample) -> (s.Search.path_length, s.Search.alive))
+    stats.Search.alive_samples
+
+let render_ascii_curve ?(width = 60) ?(height = 12) points =
+  match points with
+  | [] -> "(no data)\n"
+  | _ ->
+      let xs = List.map fst points and ys = List.map snd points in
+      let xmax = List.fold_left max 0.0001 xs in
+      let ymax = List.fold_left max 0.0001 ys in
+      let grid = Array.make_matrix height width ' ' in
+      List.iter
+        (fun (x, y) ->
+          let col =
+            min (width - 1) (int_of_float (x /. xmax *. float_of_int (width - 1)))
+          in
+          let row =
+            min (height - 1)
+              (int_of_float (y /. ymax *. float_of_int (height - 1)))
+          in
+          grid.(height - 1 - row).(col) <- '*')
+        points;
+      let buf = Buffer.create ((width + 8) * height) in
+      Array.iteri
+        (fun i row ->
+          let label =
+            if i = 0 then Printf.sprintf "%6.1f |" ymax
+            else if i = height - 1 then Printf.sprintf "%6.1f |" 0.
+            else "       |"
+          in
+          Buffer.add_string buf label;
+          Array.iter (Buffer.add_char buf) row;
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf "       +";
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "        0%*s%.2f\n" (width - 6) "" xmax);
+      Buffer.contents buf
+
+(* --- grammar summaries ---------------------------------------------------- *)
+
+type field_summary =
+  | Constant of Bv.t list
+  | Ranged of { low : Bv.t; high : Bv.t }
+  | Unconstrained
+
+(* Smallest achievable value of [value] under [constraints], by binary
+   search on SAT(value <= mid). *)
+let solver_min ~width value constraints =
+  let rec go lo hi =
+    (* invariant: some achievable value lies in [lo, hi] *)
+    if Bv.equal lo hi then lo
+    else
+      let mid =
+        Bv.add lo (Bv.lshr (Bv.sub hi lo) (Bv.one width))
+      in
+      if Solver.is_sat (Term.ule value (Term.const mid) :: constraints) then
+        go lo mid
+      else go (Bv.add mid (Bv.one width)) hi
+  in
+  go (Bv.zero width) (Bv.ones width)
+
+let solver_max ~width value constraints =
+  let rec go lo hi =
+    if Bv.equal lo hi then lo
+    else
+      (* ceil((hi - lo) / 2) without the +1 that would overflow on the
+         full-domain range: half + parity bit *)
+      let diff = Bv.sub hi lo in
+      let mid =
+        Bv.add lo
+          (Bv.add
+             (Bv.lshr diff (Bv.one width))
+             (Bv.logand diff (Bv.one width)))
+      in
+      if Solver.is_sat (Term.ule (Term.const mid) value :: constraints) then
+        go mid hi
+      else go lo (Bv.sub mid (Bv.one width))
+  in
+  go (Bv.zero width) (Bv.ones width)
+
+let describe_grammar ?mask (pc : Predicate.client_predicate) =
+  let layout = pc.Predicate.layout in
+  let fields = Predicate.analyzed_fields ?mask layout in
+  List.filter_map
+    (fun (f : Layout.field) ->
+      if f.Layout.size > 8 then None
+      else begin
+        let width = 8 * f.Layout.size in
+        let per_path =
+          List.map
+            (fun (p : Predicate.client_path) ->
+              let value =
+                Layout.field_term layout p.Predicate.message f.Layout.field_name
+              in
+              match Term.const_value value with
+              | Some c -> `Const c
+              | None -> (
+                  match Negate.related_constraints p (Term.var_ids value) with
+                  | [] -> `Full
+                  | constraints -> `Range (value, constraints)))
+            pc.Predicate.paths
+        in
+        let summary =
+          if List.for_all (function `Const _ -> true | _ -> false) per_path
+          then
+            Constant
+              (List.filter_map
+                 (function `Const c -> Some c | _ -> None)
+                 per_path
+              |> List.sort_uniq Bv.compare_unsigned)
+          else if List.exists (function `Full -> true | _ -> false) per_path
+          then Unconstrained
+          else begin
+            let lows, highs =
+              List.fold_left
+                (fun (lows, highs) case ->
+                  match case with
+                  | `Const c -> (c :: lows, c :: highs)
+                  | `Range (value, constraints) ->
+                      ( solver_min ~width value constraints :: lows,
+                        solver_max ~width value constraints :: highs )
+                  | `Full -> (lows, highs))
+                ([], []) per_path
+            in
+            let low =
+              List.fold_left
+                (fun a b -> if Bv.ult b a then b else a)
+                (Bv.ones width) lows
+            in
+            let high =
+              List.fold_left
+                (fun a b -> if Bv.ult a b then b else a)
+                (Bv.zero width) highs
+            in
+            Ranged { low; high }
+          end
+        in
+        Some (f.Layout.field_name, summary)
+      end)
+    fields
+
+let pp_grammar fmt summaries =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (name, summary) ->
+      Format.fprintf fmt "  %-14s " name;
+      (match summary with
+      | Constant values ->
+          Format.fprintf fmt "constant in {%s}"
+            (String.concat ", " (List.map (fun v -> Printf.sprintf "%Lu" (Bv.value v)) values))
+      | Ranged { low; high } ->
+          Format.fprintf fmt "values within [%Lu, %Lu] (hull)" (Bv.value low)
+            (Bv.value high)
+      | Unconstrained -> Format.fprintf fmt "unconstrained");
+      Format.fprintf fmt "@,")
+    summaries;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+(** Human-readable rendering of analysis results: discovered Trojan
+    messages with field decoding, discovery curves, and alive-set data. *)
+
+open Achilles_smt
+open Achilles_symvm
+
+val pp_witness : Layout.t -> Format.formatter -> Bv.t array -> unit
+(** Decode a concrete message per the layout, one line per field. *)
+
+val pp_trojan : Layout.t -> Format.formatter -> Search.trojan -> unit
+
+val discovery_curve :
+  total:int -> Search.trojan list -> (float * float) list
+(** Cumulative discovery points [(seconds, percent-of-total)] in found
+    order — the series plotted in Figure 10. *)
+
+val alive_scatter : Search.stats -> (int * int) list
+(** (execution path length, alive client predicates) points — the scatter
+    of Figure 11. *)
+
+val render_ascii_curve :
+  ?width:int -> ?height:int -> (float * float) list -> string
+(** A small ASCII plot for terminal output of the benchmark harness. *)
+
+(** {1 Grammar summaries}
+
+    A human-readable digest of the extracted client predicate, in the
+    spirit of protocol reverse-engineering (the Caballero-Song line of
+    related work §7): per message field, what values correct clients put
+    there. *)
+
+type field_summary =
+  | Constant of Bv.t list  (** finitely many constants across the paths *)
+  | Ranged of { low : Bv.t; high : Bv.t }
+      (** unsigned hull of the achievable values (solver-computed; an
+          over-approximation of the exact set) *)
+  | Unconstrained  (** some path can put any value there *)
+
+val describe_grammar :
+  ?mask:string list ->
+  Predicate.client_predicate ->
+  (string * field_summary) list
+(** One summary per (analyzed) layout field. Fields wider than 64 bits are
+    skipped. *)
+
+val pp_grammar :
+  Format.formatter -> (string * field_summary) list -> unit

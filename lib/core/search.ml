@@ -1,0 +1,407 @@
+open Achilles_smt
+open Achilles_symvm
+
+type config = {
+  drop_alive : bool;
+  use_different_from : bool;
+  prune_no_trojan : bool;
+  check_overlap : bool;
+  incremental_bindings : bool;
+      (* alive-set checks through per-client incremental solver sessions:
+         the msgS = msgC binding is asserted once and each check solves
+         under the current path constraints as assumptions *)
+  explain_drops : bool;
+      (* record, for every dropped client path, the unsat core of server
+         constraints that made it incompatible (requires
+         incremental_bindings) *)
+  mask : string list option;
+  witnesses_per_path : int;
+  distinct_by : (Bv.t array -> Term.var array -> Term.t) option;
+  interp : Interp.config;
+}
+
+let default_config =
+  {
+    drop_alive = true;
+    use_different_from = true;
+    prune_no_trojan = true;
+    check_overlap = true;
+    incremental_bindings = true;
+    explain_drops = false;
+    mask = None;
+    witnesses_per_path = 1;
+    distinct_by = None;
+    interp = Interp.default_config;
+  }
+
+type trojan = {
+  server_state_id : int;
+  accept_label : string;
+  witness : Bv.t array;
+  symbolic : Term.t list;
+  msg_vars : Term.var array;
+  found_at : float;
+}
+
+type alive_sample = { state_id : int; path_length : int; alive : int }
+
+type drop_explanation = {
+  at_state : int; (* server state where the client path died *)
+  dropped_path : int; (* cp_id *)
+  conflicting : Term.t list; (* server constraints in the unsat core *)
+}
+
+type stats = {
+  accepting_paths : int;
+  rejecting_paths : int;
+  other_paths : int;
+  pruned_states : int;
+  forks : int;
+  alive_checks : int;
+  transitive_drops : int;
+  alive_samples : alive_sample list;
+  wall_time : float;
+}
+
+type report = {
+  trojans : trojan list;
+  accepting : Predicate.server_path list;
+  drops : drop_explanation list; (* populated when [explain_drops] is set *)
+  search_stats : stats;
+}
+
+(* Mutable search context shared by the interpreter hooks. *)
+type search_ctx = {
+  cfg : config;
+  client : Predicate.client_predicate;
+  paths : Predicate.client_path array;
+  different_from : Different_from.t option;
+  alive : (int, int list) Hashtbl.t; (* state id -> alive client indices *)
+  bindings : (int, Term.t list) Hashtbl.t; (* client idx -> msgS=msgC binding *)
+  sessions : (int, Solver.Incremental.session) Hashtbl.t;
+      (* client idx -> incremental session with the binding asserted *)
+  negations : (int, Term.t) Hashtbl.t; (* client idx -> negate(pathCi) *)
+  mutable server_vars : Term.var array option;
+  mutable field_var_ids : (string * int list) list; (* server var ids per field *)
+  mutable trojans_rev : trojan list;
+  mutable accepting_rev : Predicate.server_path list;
+  mutable samples_rev : alive_sample list;
+  mutable drops_rev : drop_explanation list;
+  mutable n_accepting : int;
+  mutable n_rejecting : int;
+  mutable n_other : int;
+  mutable n_pruned : int;
+  mutable n_alive_checks : int;
+  mutable n_transitive : int;
+  started : float;
+}
+
+let all_indices ctx = List.init (Array.length ctx.paths) Fun.id
+
+let setup_server_vars ctx vars =
+  match ctx.server_vars with
+  | Some existing when existing == vars -> ()
+  | Some _ ->
+      (* A second, distinct symbolic message would need per-state negations;
+         all our server models receive the analyzed message exactly once. *)
+      invalid_arg "Search: server received more than one symbolic message"
+  | None ->
+      ctx.server_vars <- Some vars;
+      let layout = ctx.client.Predicate.layout in
+      ctx.field_var_ids <-
+        List.map
+          (fun (f : Layout.field) ->
+            let ids =
+              List.init f.Layout.size (fun i ->
+                  vars.(f.Layout.offset + i).Term.id)
+            in
+            (f.Layout.field_name, List.sort compare ids))
+          (Layout.fields layout)
+
+let binding_for ctx idx =
+  match Hashtbl.find_opt ctx.bindings idx with
+  | Some b -> b
+  | None ->
+      let server_vars = Option.get ctx.server_vars in
+      let b = Predicate.bind_to_server ~server_vars ctx.paths.(idx) in
+      Hashtbl.replace ctx.bindings idx b;
+      b
+
+let session_for ctx idx =
+  match Hashtbl.find_opt ctx.sessions idx with
+  | Some s -> s
+  | None ->
+      let s = Solver.Incremental.create () in
+      List.iter (Solver.Incremental.assert_always s) (binding_for ctx idx);
+      Hashtbl.replace ctx.sessions idx s;
+      s
+
+(* pathS /\ bind(pathCi) unsatisfiable? The hot query of the search. *)
+let binding_incompatible ctx idx (st : State.t) =
+  if ctx.cfg.incremental_bindings then
+    Solver.Incremental.is_unsat (session_for ctx idx) st.State.path
+  else Solver.is_unsat (List.rev_append st.State.path (binding_for ctx idx))
+
+let negation_for ctx idx =
+  match Hashtbl.find_opt ctx.negations idx with
+  | Some n -> n
+  | None ->
+      let server_vars = Option.get ctx.server_vars in
+      let n =
+        Negate.negate_path ~check_overlap:ctx.cfg.check_overlap
+          ?mask:ctx.cfg.mask ~layout:ctx.client.Predicate.layout ~server_vars
+          ctx.paths.(idx)
+      in
+      Hashtbl.replace ctx.negations idx n;
+      n
+
+let alive_for ctx (st : State.t) =
+  match Hashtbl.find_opt ctx.alive st.State.id with
+  | Some l -> l
+  | None -> (
+      match st.State.parent with
+      | Some p when Hashtbl.mem ctx.alive p -> Hashtbl.find ctx.alive p
+      | _ -> all_indices ctx)
+
+(* Which single field, if any, does this constraint depend on? The
+   constraint must mention only server message variables, all within one
+   field. *)
+let single_field_of ctx cond =
+  let ids = Term.var_ids cond in
+  if ids = [] then None
+  else
+    List.find_opt
+      (fun (_, field_ids) -> List.for_all (fun id -> List.mem id field_ids) ids)
+      ctx.field_var_ids
+    |> Option.map fst
+
+let trojan_query ctx (st : State.t) alive =
+  List.rev_append
+    (List.map (negation_for ctx) alive)
+    (List.rev st.State.path)
+
+(* The incremental step: update the alive set for the new constraint, then
+   decide whether any Trojan message can still trigger this state. *)
+let on_constraint ctx (st : State.t) cond =
+  match st.State.msg_vars with
+  | None -> true (* constraints before the message arrives: nothing to do *)
+  | Some vars ->
+      setup_server_vars ctx vars;
+      let alive = alive_for ctx st in
+      let alive =
+        if not ctx.cfg.drop_alive then alive
+        else begin
+          let field =
+            if ctx.cfg.use_different_from && ctx.different_from <> None then
+              single_field_of ctx cond
+            else None
+          in
+          let dropped = Hashtbl.create 8 in
+          let maybe_transitive_drop i =
+            match field, ctx.different_from with
+            | Some a, Some df when Different_from.covers_field df a ->
+                List.iter
+                  (fun j ->
+                    if
+                      (not (Hashtbl.mem dropped j))
+                      && not (Different_from.different df ~i:j ~j:i ~field:a)
+                    then begin
+                      Hashtbl.replace dropped j ();
+                      ctx.n_transitive <- ctx.n_transitive + 1
+                    end)
+                  (all_indices ctx)
+            | _ -> ()
+          in
+          List.iter
+            (fun i ->
+              if not (Hashtbl.mem dropped i) then begin
+                ctx.n_alive_checks <- ctx.n_alive_checks + 1;
+                if binding_incompatible ctx i st then begin
+                  if ctx.cfg.explain_drops && ctx.cfg.incremental_bindings
+                  then begin
+                    match Solver.Incremental.unsat_core (session_for ctx i) with
+                    | Some conflicting ->
+                        ctx.drops_rev <-
+                          {
+                            at_state = st.State.id;
+                            dropped_path = i;
+                            conflicting;
+                          }
+                          :: ctx.drops_rev
+                    | None -> ()
+                  end;
+                  Hashtbl.replace dropped i ();
+                  maybe_transitive_drop i
+                end
+              end)
+            alive;
+          List.filter (fun i -> not (Hashtbl.mem dropped i)) alive
+        end
+      in
+      Hashtbl.replace ctx.alive st.State.id alive;
+      ctx.samples_rev <-
+        {
+          state_id = st.State.id;
+          path_length = List.length st.State.path;
+          alive = List.length alive;
+        }
+        :: ctx.samples_rev;
+      if not ctx.cfg.prune_no_trojan then true
+      else begin
+        let feasible = Solver.is_sat (trojan_query ctx st alive) in
+        if not feasible then ctx.n_pruned <- ctx.n_pruned + 1;
+        feasible
+      end
+
+let on_fork ctx ~parent ~child =
+  let alive = alive_for ctx parent in
+  Hashtbl.replace ctx.alive child.State.id alive
+
+let witness_of_model vars model =
+  Array.map
+    (fun v ->
+      match Model.find model v with
+      | Some (Model.Vbv bv) -> bv
+      | Some (Model.Vbool _) -> assert false
+      | None -> Bv.zero 8)
+    vars
+
+(* Enumerate concrete Trojan witnesses on an accepting path, blocking each
+   discovered message (or message class) before re-solving. *)
+let emit_trojans ctx (st : State.t) label =
+  match st.State.msg_vars with
+  | None -> ()
+  | Some vars ->
+      setup_server_vars ctx vars;
+      let alive = alive_for ctx st in
+      let base_query = trojan_query ctx st alive in
+      ctx.accepting_rev <-
+        {
+          Predicate.sp_state_id = st.State.id;
+          label;
+          msg_vars = vars;
+          sp_constraints = List.rev st.State.path;
+        }
+        :: ctx.accepting_rev;
+      let block witness =
+        match ctx.cfg.distinct_by with
+        | Some f -> f witness vars
+        | None ->
+            (* block exactly these bytes *)
+            Term.not_
+              (Term.and_l
+                 (Array.to_list
+                    (Array.mapi
+                       (fun i v -> Term.eq (Term.var vars.(i)) (Term.const v))
+                       witness)))
+      in
+      let rec enumerate blocked n =
+        if n < ctx.cfg.witnesses_per_path then
+          match Solver.get_model (List.rev_append blocked base_query) with
+          | None -> ()
+          | Some model ->
+              let witness = witness_of_model vars model in
+              ctx.trojans_rev <-
+                {
+                  server_state_id = st.State.id;
+                  accept_label = label;
+                  witness;
+                  symbolic = base_query;
+                  msg_vars = vars;
+                  found_at = Unix.gettimeofday () -. ctx.started;
+                }
+                :: ctx.trojans_rev;
+              enumerate (block witness :: blocked) (n + 1)
+      in
+      enumerate [] 0
+
+(* Greedily zero out witness bytes while the Trojan expression stays
+   satisfiable: smaller witnesses make fire-drill payloads easier to read
+   and diff against valid traffic. *)
+let minimize_witness (t : trojan) =
+  let pins = Array.map (fun b -> Some b) t.witness in
+  let pin_terms () =
+    Array.to_list pins
+    |> List.mapi (fun i p ->
+           Option.map (fun b -> Term.eq (Term.var t.msg_vars.(i)) (Term.const b)) p)
+    |> List.filter_map Fun.id
+  in
+  let current = Array.copy t.witness in
+  Array.iteri
+    (fun i byte ->
+      if not (Bv.equal byte (Bv.zero 8)) then begin
+        pins.(i) <- Some (Bv.zero 8);
+        if Solver.is_sat (pin_terms () @ t.symbolic) then
+          current.(i) <- Bv.zero 8
+        else pins.(i) <- Some current.(i)
+      end)
+    t.witness;
+  current
+
+let on_terminal ctx (st : State.t) =
+  match st.State.status with
+  | State.Accepted label ->
+      ctx.n_accepting <- ctx.n_accepting + 1;
+      emit_trojans ctx st label
+  | State.Rejected _ | State.Finished ->
+      (* per §5.1, a server path that returns to the event loop without
+         accepting rejected its message *)
+      ctx.n_rejecting <- ctx.n_rejecting + 1
+  | State.Dropped | State.Crashed _ -> ctx.n_other <- ctx.n_other + 1
+  | State.Running -> ()
+
+let run ?(config = default_config) ?different_from ~client ~server () =
+  let started = Unix.gettimeofday () in
+  let ctx =
+    {
+      cfg = config;
+      client;
+      paths = Array.of_list client.Predicate.paths;
+      different_from;
+      alive = Hashtbl.create 256;
+      bindings = Hashtbl.create 64;
+      sessions = Hashtbl.create 64;
+      negations = Hashtbl.create 64;
+      server_vars = None;
+      field_var_ids = [];
+      trojans_rev = [];
+      accepting_rev = [];
+      samples_rev = [];
+      drops_rev = [];
+      n_accepting = 0;
+      n_rejecting = 0;
+      n_other = 0;
+      n_pruned = 0;
+      n_alive_checks = 0;
+      n_transitive = 0;
+      started;
+    }
+  in
+  let hooks =
+    {
+      Interp.on_constraint = (fun st c -> on_constraint ctx st c);
+      Interp.on_fork = (fun ~parent ~child -> on_fork ctx ~parent ~child);
+      Interp.on_send = (fun _ _ -> ());
+      Interp.on_terminal = (fun st -> on_terminal ctx st);
+    }
+  in
+  let run_result = Interp.run ~config:config.interp ~hooks server in
+  let stats =
+    {
+      accepting_paths = ctx.n_accepting;
+      rejecting_paths = ctx.n_rejecting;
+      other_paths = ctx.n_other;
+      pruned_states = ctx.n_pruned;
+      forks = run_result.Interp.stats.Interp.forks;
+      alive_checks = ctx.n_alive_checks;
+      transitive_drops = ctx.n_transitive;
+      alive_samples = List.rev ctx.samples_rev;
+      wall_time = Unix.gettimeofday () -. started;
+    }
+  in
+  {
+    trojans = List.rev ctx.trojans_rev;
+    accepting = List.rev ctx.accepting_rev;
+    drops = List.rev ctx.drops_rev;
+    search_stats = stats;
+  }

@@ -1,0 +1,98 @@
+(** Phase two of Achilles: explore the server symbolically and search for
+    Trojan messages incrementally while building [PS] (§3.2, §3.3).
+
+    Every server state carries the set of client path predicates that can
+    still trigger it ("alive" paths). At each new branch constraint:
+
+    - each alive client path [i] is kept only if [pathS /\ bind(pathCi)]
+      stays satisfiable; once dropped, [negate(pathCi)] disappears from the
+      Trojan query for good;
+    - if the constraint touches a single independent field [a] and path [i]
+      was dropped, every alive [j] whose field-[a] values are contained in
+      [i]'s (per the differentFrom matrix) is dropped without a solver call;
+    - the state is pruned as soon as [pathS /\ AND_i negate(pathCi)] becomes
+      unsatisfiable — no Trojan message can reach it anymore.
+
+    Accepting states therefore have Trojan messages by construction; the
+    search emits a symbolic Trojan expression and one or more concrete
+    witnesses per accepting path, each timestamped for the discovery curve
+    of Figure 10. *)
+
+open Achilles_smt
+open Achilles_symvm
+
+type config = {
+  drop_alive : bool; (* optimization 1: per-state alive tracking *)
+  use_different_from : bool; (* optimization 2: transitive drops *)
+  prune_no_trojan : bool; (* drop states with an unsat Trojan query *)
+  check_overlap : bool; (* negate's false-positive discard (§4.1) *)
+  incremental_bindings : bool;
+      (* run the alive-set checks through per-client incremental solver
+         sessions: the msgS = msgC binding is bitblasted once and each
+         check solves under the path constraints as assumptions *)
+  explain_drops : bool;
+      (* record an unsat-core explanation for every dropped client path
+         (requires incremental_bindings) *)
+  mask : string list option; (* analyzed fields; None = all *)
+  witnesses_per_path : int; (* concrete witnesses enumerated per path *)
+  distinct_by : (Bv.t array -> Term.var array -> Term.t) option;
+      (* blocking-constraint generator steering witness enumeration toward
+         distinct message classes; [None] blocks the exact witness bytes *)
+  interp : Interp.config;
+}
+
+val default_config : config
+
+type trojan = {
+  server_state_id : int;
+  accept_label : string;
+  witness : Bv.t array; (* a concrete Trojan message *)
+  symbolic : Term.t list; (* pathS /\ negations: the Trojan expression *)
+  msg_vars : Term.var array;
+  found_at : float; (* seconds since the search started *)
+}
+
+type alive_sample = { state_id : int; path_length : int; alive : int }
+(** One (execution-path length, surviving client paths) measurement —
+    the raw data of Figure 11. *)
+
+type drop_explanation = {
+  at_state : int;
+  dropped_path : int; (* cp_id of the dropped client path *)
+  conflicting : Term.t list;
+      (* the unsat core: server path constraints that together with the
+         msgS = msgC binding rule this client path out — "why can't client
+         path i trigger this state any more" *)
+}
+
+type stats = {
+  accepting_paths : int;
+  rejecting_paths : int;
+  other_paths : int;
+  pruned_states : int; (* states killed by the no-Trojan check *)
+  forks : int;
+  alive_checks : int; (* pathS /\ pathCi solver checks issued *)
+  transitive_drops : int; (* drops decided by differentFrom alone *)
+  alive_samples : alive_sample list;
+  wall_time : float;
+}
+
+type report = {
+  trojans : trojan list; (* discovery order *)
+  accepting : Predicate.server_path list;
+  drops : drop_explanation list; (* populated when [explain_drops] is set *)
+  search_stats : stats;
+}
+
+val run :
+  ?config:config ->
+  ?different_from:Different_from.t ->
+  client:Predicate.client_predicate ->
+  server:Ast.program ->
+  unit ->
+  report
+
+val minimize_witness : trojan -> Bv.t array
+(** A witness for the same Trojan expression with greedily as many zero
+    bytes as the expression allows — easier to read and to diff against
+    valid traffic when preparing fire-drill payloads. *)

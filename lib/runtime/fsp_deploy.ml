@@ -1,0 +1,143 @@
+(* A concrete FSP deployment: the DSL server validates incoming command
+   messages, and accepted commands take effect on an in-memory file store.
+   Clients are the DSL utilities run concretely — including the glob
+   expansion a real FSP client performs before anything hits the wire. *)
+
+open Achilles_smt
+open Achilles_symvm
+open Achilles_targets
+
+type t = { fs : Fsp_fs.t; server : Node.t }
+
+let create ?files () =
+  { fs = Fsp_fs.create ?files (); server = Node.create Fsp_model.server }
+
+let fs t = t.fs
+let list_files t = Fsp_fs.list t.fs
+
+(* --- message construction via the DSL clients -------------------------------- *)
+
+let arg_inputs path =
+  (* the client's argv buffer: path bytes, NUL-padded *)
+  List.init Fsp_model.buf_size (fun i ->
+      if i < String.length path then Bv.of_int ~width:8 (Char.code path.[i])
+      else Bv.zero 8)
+
+(* Run a client utility concretely on a literal path (no globbing) and
+   return the message it would send, if its validation lets the path out. *)
+let build_message command path =
+  if String.length path > Fsp_model.max_path then Error "path too long"
+  else begin
+    let client = Fsp_model.client command in
+    let outcome = Concrete.run ~inputs:(arg_inputs path) client in
+    match outcome.Concrete.sent with
+    | [ (_, payload) ] -> Ok payload
+    | [] -> Error "client validation rejected the path"
+    | _ -> Error "client sent more than one message"
+  end
+
+(* --- server-side command effects ---------------------------------------------- *)
+
+(* The server handles the path as a C string: everything up to the first
+   NUL. Bytes between the true length and bb_len travel along unchecked —
+   the "additional arbitrary payload" of the mismatched-length bug. *)
+let effective_path payload =
+  let buf = Layout.field_bytes Fsp_model.layout payload "buf" in
+  let b = Buffer.create 8 in
+  (try
+     Array.iter
+       (fun byte ->
+         let c = Bv.to_int byte in
+         if c = 0 then raise Exit;
+         Buffer.add_char b (Char.chr c))
+       buf
+   with Exit -> ());
+  Buffer.contents b
+
+let extra_payload payload =
+  let buf = Layout.field_bytes Fsp_model.layout payload "buf" in
+  let len = Bv.to_int (Layout.field_value Fsp_model.layout payload "bb_len") in
+  let t = String.length (effective_path payload) in
+  if t >= len then ""
+  else
+    String.concat ""
+      (List.init (len - t - 1) (fun i ->
+           Printf.sprintf "%02Lx" (Bv.value buf.(t + 1 + i))))
+
+type server_reply =
+  | Accepted of { command : string; path : string; affected : string list }
+  | Rejected
+
+(* Deliver raw bytes to the server node; on acceptance, apply the command
+   to the file store. This is the injection point for Trojan messages. *)
+let deliver_raw t payload =
+  let outcome = Node.deliver t.server payload in
+  match outcome.Concrete.status with
+  | State.Accepted label ->
+      let path = effective_path payload in
+      let affected =
+        match label with
+        | "del" | "rmdir" | "grab" ->
+            if Fsp_fs.delete t.fs path then [ path ] else []
+        | "put" | "mkdir" ->
+            Fsp_fs.create_file t.fs path;
+            [ path ]
+        | "get" | "cat" | "stat" ->
+            if Fsp_fs.exists t.fs path then [ path ] else []
+        | _ -> []
+      in
+      Accepted { command = label; path; affected }
+  | _ -> Rejected
+
+(* --- client-side command execution -------------------------------------------- *)
+
+type exec_result = {
+  expanded : string list; (* the paths actually sent after globbing *)
+  replies : (string * server_reply) list;
+  client_error : string option;
+}
+
+(* Execute a user command the way the FSP utility does: glob-expand the
+   argument against the server's file list (no escape possible), then send
+   one command message per expansion. *)
+let exec t ~command ~arg =
+  match Fsp_model.command_of_code command.Fsp_model.code with
+  | None -> invalid_arg "Fsp_deploy.exec: unknown command"
+  | Some _ ->
+      let expanded =
+        if String.contains arg '*' && command.Fsp_model.globs_argument then
+          Fsp_fs.glob t.fs ~pattern:arg
+        else [ arg ]
+      in
+      if expanded = [] then
+        { expanded = []; replies = []; client_error = Some "no match" }
+      else begin
+        let replies =
+          List.filter_map
+            (fun path ->
+              match build_message command path with
+              | Ok payload -> Some (path, deliver_raw t payload)
+              | Error _ -> None)
+            expanded
+        in
+        let failed =
+          List.filter
+            (fun path ->
+              not (List.exists (fun (p, _) -> p = path) replies))
+            expanded
+        in
+        {
+          expanded;
+          replies;
+          client_error =
+            (match failed with
+            | [] -> None
+            | ps ->
+                Some
+                  (Printf.sprintf "client could not send: %s"
+                     (String.concat ", " ps)));
+        }
+      end
+
+let command_named name =
+  List.find (fun c -> c.Fsp_model.cmd_name = name) Fsp_model.commands

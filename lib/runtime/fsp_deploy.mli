@@ -1,0 +1,50 @@
+(** A concrete FSP deployment: the DSL server validates command messages
+    and accepted commands take effect on an in-memory {!Fsp_fs} store.
+    Clients are the DSL utilities run concretely, including the glob
+    expansion a real FSP client performs before anything hits the wire.
+    This is where the §6.3 impact experiments live. *)
+
+open Achilles_smt
+open Achilles_targets
+
+type t
+
+val create : ?files:string list -> unit -> t
+val fs : t -> Fsp_fs.t
+val list_files : t -> string list
+
+val build_message :
+  Fsp_model.command -> string -> (Bv.t array, string) result
+(** Run a client utility concretely on a literal path (no globbing) and
+    return the message it would send; [Error] if its validation refuses. *)
+
+val effective_path : Bv.t array -> string
+(** The path as the server consumes it: bytes up to the first NUL. *)
+
+val extra_payload : Bv.t array -> string
+(** Hex rendering of the covert bytes a mismatched-length Trojan carries
+    between the early terminator and the reported length (§6.3); [""] when
+    there are none. *)
+
+type server_reply =
+  | Accepted of { command : string; path : string; affected : string list }
+  | Rejected
+
+val deliver_raw : t -> Bv.t array -> server_reply
+(** Deliver raw bytes to the server node; on acceptance, apply the command
+    to the file store. The injection point for Trojan messages. *)
+
+type exec_result = {
+  expanded : string list;  (** the paths actually sent after globbing *)
+  replies : (string * server_reply) list;
+  client_error : string option;
+}
+
+val exec : t -> command:Fsp_model.command -> arg:string -> exec_result
+(** Execute a user command the way the FSP utility does: glob-expand the
+    argument against the server's file list, then send one command message
+    per expansion. An unmatched pattern is a client-side error (there is no
+    escape syntax to send it literally). *)
+
+val command_named : string -> Fsp_model.command
+(** Raises [Not_found]. *)

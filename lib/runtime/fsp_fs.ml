@@ -1,0 +1,44 @@
+(* The FSP server's file store, with the exact wildcard semantics of §6.3:
+   the server treats '*' as an ordinary character in the names it stores and
+   deletes, while FSP *clients* glob-expand '*' (with no way to escape it)
+   before any command leaves the machine. *)
+
+type t = { mutable files : string list (* sorted, unique *) }
+
+let create ?(files = []) () = { files = List.sort_uniq compare files }
+
+let list t = t.files
+let exists t name = List.mem name t.files
+
+let create_file t name =
+  if not (exists t name) then t.files <- List.sort compare (name :: t.files)
+
+let delete t name =
+  let before = List.length t.files in
+  t.files <- List.filter (fun f -> f <> name) t.files;
+  List.length t.files < before
+
+let rename t ~src ~dst =
+  if exists t src then begin
+    ignore (delete t src);
+    create_file t dst;
+    true
+  end
+  else false
+
+(* Shell-style globbing: '*' matches any (possibly empty) character
+   sequence. This is the CLIENT-side expansion; note there is no escape
+   syntax — exactly the FSP limitation the paper exploits. *)
+let glob_match ~pattern name =
+  let np = String.length pattern and nn = String.length name in
+  (* matches.(i).(j): pattern[i..] matches name[j..] *)
+  let rec matches i j =
+    if i = np then j = nn
+    else
+      match pattern.[i] with
+      | '*' -> matches (i + 1) j || (j < nn && matches i (j + 1))
+      | c -> j < nn && name.[j] = c && matches (i + 1) (j + 1)
+  in
+  matches 0 0
+
+let glob t ~pattern = List.filter (fun f -> glob_match ~pattern f) t.files

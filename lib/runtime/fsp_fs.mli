@@ -1,0 +1,27 @@
+(** The FSP server's file store, with the wildcard semantics of §6.3.
+
+    The server stores and deletes {e literal} names — '*' is an ordinary
+    character to it — while FSP {e clients} glob-expand '*' before any
+    command leaves the machine, with no escape syntax. That asymmetry is
+    the wildcard Trojan. *)
+
+type t
+
+val create : ?files:string list -> unit -> t
+val list : t -> string list
+(** Sorted, duplicate-free. *)
+
+val exists : t -> string -> bool
+val create_file : t -> string -> unit
+val delete : t -> string -> bool
+(** [true] if the file existed. *)
+
+val rename : t -> src:string -> dst:string -> bool
+
+val glob_match : pattern:string -> string -> bool
+(** Shell-style matching: '*' matches any (possibly empty) character
+    sequence; every other character matches itself. No escape syntax —
+    exactly the FSP limitation the paper exploits. *)
+
+val glob : t -> pattern:string -> string list
+(** Files matching the pattern (client-side expansion). *)

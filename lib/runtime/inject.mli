@@ -1,0 +1,36 @@
+(** Fault injection of discovered Trojan messages into concretely running
+    nodes — the "live fire drill" usage of §4.1: witnesses are replayed
+    against the real (concretely executed) server to confirm acceptance and
+    observe effects. *)
+
+open Achilles_smt
+open Achilles_symvm
+open Achilles_core
+
+val replay :
+  ?initial_globals:(string * Bv.t) list ->
+  server:Ast.program ->
+  Bv.t array ->
+  State.status
+
+type confirmation = {
+  total : int;
+  accepted : int;  (** witnesses the concrete server accepted *)
+  rejected : int;  (** would-be false positives *)
+}
+
+val confirm :
+  ?initial_globals:(string * Bv.t) list ->
+  server:Ast.program ->
+  Search.trojan list ->
+  confirmation
+(** Replay every witness; a sound analysis shows [rejected = 0]. *)
+
+val check_against_oracle :
+  is_trojan:(Bv.t array -> bool) ->
+  Search.trojan list ->
+  Search.trojan list * Search.trojan list
+(** Partition witnesses into (truly ungenerable, false positives) according
+    to an external ground-truth oracle. *)
+
+val pp_confirmation : Format.formatter -> confirmation -> unit

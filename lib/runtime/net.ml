@@ -1,0 +1,81 @@
+(* A simulated network connecting nodes by integer address: FIFO delivery,
+   an optional in-flight fault (bit flips, the Amazon-S3-style corruption of
+   §1), and direct injection of arbitrary messages (the fault-injection use
+   the paper recommends for discovered Trojan messages). *)
+
+open Achilles_smt
+open Achilles_symvm
+
+type packet = { src : int; dst : int; payload : Bv.t array }
+
+type t = {
+  nodes : (int, Node.t) Hashtbl.t;
+  queue : packet Queue.t;
+  mutable fault : (packet -> packet) option;
+  mutable delivered_packets : int;
+}
+
+let create () =
+  {
+    nodes = Hashtbl.create 8;
+    queue = Queue.create ();
+    fault = None;
+    delivered_packets = 0;
+  }
+
+let add_node t ~addr node =
+  if Hashtbl.mem t.nodes addr then
+    invalid_arg (Printf.sprintf "Net.add_node: address %d taken" addr);
+  Hashtbl.replace t.nodes addr node
+
+let node t addr = Hashtbl.find_opt t.nodes addr
+
+let set_fault t f = t.fault <- f
+let clear_fault t = t.fault <- None
+
+(* Flip one bit of one byte of every packet matching [when_]. *)
+let bit_flip_fault ?(when_ = fun _ -> true) ~byte ~bit () =
+  fun packet ->
+    if not (when_ packet) then packet
+    else begin
+      let payload = Array.copy packet.payload in
+      if byte < Array.length payload then
+        payload.(byte) <-
+          Bv.logxor payload.(byte) (Bv.of_int ~width:8 (1 lsl bit));
+      { packet with payload }
+    end
+
+let send t ~src ~dst payload = Queue.push { src; dst; payload } t.queue
+
+let inject t ~dst payload = send t ~src:(-1) ~dst payload
+
+(* Deliver the next queued packet; the receiving node's own sends are
+   enqueued in turn. Returns the receiver outcome, or [None] on an empty
+   queue or unroutable address. *)
+let step t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some packet -> (
+      let packet =
+        match t.fault with Some f -> f packet | None -> packet
+      in
+      match node t packet.dst with
+      | None -> None
+      | Some receiver ->
+          t.delivered_packets <- t.delivered_packets + 1;
+          let outcome = Node.deliver receiver packet.payload in
+          List.iter
+            (fun (dst_bv, payload) ->
+              send t ~src:packet.dst ~dst:(Bv.to_int dst_bv) payload)
+            outcome.Concrete.sent;
+          Some (packet, outcome))
+
+let run_to_quiescence ?(max_steps = 10_000) t =
+  let rec go n =
+    if n >= max_steps then n
+    else match step t with None -> n | Some _ -> go (n + 1)
+  in
+  go 0
+
+let pending t = Queue.length t.queue
+let delivered_packets t = t.delivered_packets

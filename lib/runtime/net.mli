@@ -1,0 +1,43 @@
+(** A simulated network connecting {!Node}s by integer address.
+
+    FIFO delivery, an optional in-flight fault (e.g. the single-bit
+    corruption of the paper's §1 Amazon S3 story), and direct injection of
+    arbitrary messages — the fault-injection channel the paper recommends
+    for discovered Trojan messages. *)
+
+open Achilles_smt
+open Achilles_symvm
+
+type packet = { src : int; dst : int; payload : Bv.t array }
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> addr:int -> Node.t -> unit
+(** Raises [Invalid_argument] if the address is taken. *)
+
+val node : t -> int -> Node.t option
+
+val set_fault : t -> (packet -> packet) option -> unit
+(** Install (or clear) a transformation applied to every packet in flight. *)
+
+val clear_fault : t -> unit
+
+val bit_flip_fault :
+  ?when_:(packet -> bool) -> byte:int -> bit:int -> unit -> packet -> packet
+(** Flip one bit of one byte of each matching packet. *)
+
+val send : t -> src:int -> dst:int -> Bv.t array -> unit
+val inject : t -> dst:int -> Bv.t array -> unit
+(** Inject a message from outside the system (source address -1). *)
+
+val step : t -> (packet * Concrete.outcome) option
+(** Deliver the next queued packet; the receiver's own sends are enqueued.
+    [None] on an empty queue or an unroutable destination. *)
+
+val run_to_quiescence : ?max_steps:int -> t -> int
+(** Deliver until the queue drains; returns the number of deliveries. *)
+
+val pending : t -> int
+val delivered_packets : t -> int

@@ -1,0 +1,51 @@
+(* A concretely executing protocol node. The DSL programs are single-shot
+   message handlers (one [Receive], then processing); a node re-runs its
+   program for every delivered message while carrying the program's global
+   scalars across runs — the event loop the paper's servers have around
+   their handlers. *)
+
+open Achilles_smt
+open Achilles_symvm
+
+type t = {
+  name : string;
+  program : Ast.program;
+  mutable globals : (string * Bv.t) list;
+  mutable delivered : int;
+  mutable log : (Bv.t array * State.status) list; (* newest first *)
+}
+
+let create ?name program =
+  {
+    name = Option.value name ~default:program.Ast.prog_name;
+    program;
+    globals = [];
+    delivered = 0;
+    log = [];
+  }
+
+let name t = t.name
+let globals t = t.globals
+let delivered t = t.delivered
+
+let set_global t key value =
+  t.globals <- (key, value) :: List.remove_assoc key t.globals
+
+(* Deliver one message: run the handler to completion, persist the globals,
+   and return the outcome (including any messages the node sent). *)
+let deliver t message =
+  let outcome =
+    Concrete.run ~incoming:[ message ] ~initial_globals:t.globals t.program
+  in
+  t.globals <- outcome.Concrete.globals;
+  t.delivered <- t.delivered + 1;
+  t.log <- (message, outcome.Concrete.status) :: t.log;
+  outcome
+
+let history t = List.rev t.log
+
+let accepted_count t =
+  List.length
+    (List.filter
+       (fun (_, s) -> match s with State.Accepted _ -> true | _ -> false)
+       t.log)

@@ -1,0 +1,30 @@
+(** A concretely executing protocol node.
+
+    DSL programs are single-shot message handlers (or bounded event loops);
+    a node re-runs its program for each delivered message while persisting
+    the program's global scalars across runs — the surrounding event loop
+    the paper's servers have. Used by the deployments and the fault
+    injector. *)
+
+open Achilles_smt
+open Achilles_symvm
+
+type t
+
+val create : ?name:string -> Ast.program -> t
+val name : t -> string
+
+val globals : t -> (string * Bv.t) list
+(** The node's current persistent state. *)
+
+val set_global : t -> string -> Bv.t -> unit
+val delivered : t -> int
+
+val deliver : t -> Bv.t array -> Concrete.outcome
+(** Run the handler to completion on one message, persist the globals, and
+    return the outcome (including any messages the node sent). *)
+
+val history : t -> (Bv.t array * State.status) list
+(** Delivered messages and how each ended, in delivery order. *)
+
+val accepted_count : t -> int

@@ -1,0 +1,46 @@
+(** A concrete PBFT deployment for the MAC-attack impact experiment (§6.3).
+
+    The primary validates requests with the DSL replica — which never
+    checks authenticators — and forwards a Pre_prepare. The backups do
+    verify the MAC: a mismatch means the client or the primary is faulty,
+    and being unable to tell which, they run the expensive recovery
+    protocol instead of the normal three-phase commit. Costs are abstract
+    protocol time units, making the slowdown factor deterministic. *)
+
+open Achilles_smt
+
+val normal_commit_cost : int
+val recovery_cost : int
+
+type t
+
+val create : unit -> t
+
+val build_request :
+  ?corrupt_mac:bool ->
+  cid:int ->
+  rid:int ->
+  command:int ->
+  unit ->
+  Bv.t array option
+(** Build a request through the DSL client (so only what a correct client
+    can produce leaves here), optionally corrupting the authenticators in
+    flight. [None] when the client itself refuses (e.g. an unconfigured
+    client id). *)
+
+type submit_result = { committed : bool; recovery : bool; cost : int }
+
+val submit : t -> Bv.t array -> submit_result
+
+type workload_summary = {
+  requests : int;
+  committed : int;
+  recoveries : int;
+  total_cost : int;
+  throughput : float;  (** committed requests per 100 cost units *)
+}
+
+val run_workload :
+  ?malicious_every:int -> requests:int -> unit -> workload_summary
+(** A request stream where every [malicious_every]-th request carries a
+    corrupted authenticator (0 = none do). *)

@@ -1,0 +1,299 @@
+type repr = Rlit of int | Rvec of int array (* lsb first, DIMACS literals *)
+
+type t = {
+  sat : Sat.t;
+  cache : (Term.t, repr) Hashtbl.t;
+  term_vars : (int, Term.var * repr) Hashtbl.t; (* term var id -> bits *)
+  true_lit : int;
+  mutable n_clauses : int;
+  mutable n_aux : int;
+}
+
+let sat t = t.sat
+let clauses_added t = t.n_clauses
+let aux_vars t = t.n_aux
+
+let clause t lits =
+  t.n_clauses <- t.n_clauses + 1;
+  Sat.add_clause t.sat lits
+
+let fresh t =
+  t.n_aux <- t.n_aux + 1;
+  Sat.new_var t.sat
+
+let create sat =
+  let dummy =
+    {
+      sat;
+      cache = Hashtbl.create 256;
+      term_vars = Hashtbl.create 64;
+      true_lit = 0;
+      n_clauses = 0;
+      n_aux = 0;
+    }
+  in
+  let tl = fresh dummy in
+  let t = { dummy with true_lit = tl } in
+  clause t [ tl ];
+  t
+
+(* --- boolean gates -------------------------------------------------------- *)
+
+let lnot l = -l
+
+let and2 t a b =
+  if a = t.true_lit then b
+  else if b = t.true_lit then a
+  else if a = -t.true_lit || b = -t.true_lit then -t.true_lit
+  else if a = b then a
+  else if a = -b then -t.true_lit
+  else begin
+    let x = fresh t in
+    clause t [ -x; a ];
+    clause t [ -x; b ];
+    clause t [ x; -a; -b ];
+    x
+  end
+
+let or2 t a b = lnot (and2 t (lnot a) (lnot b))
+
+let xor2 t a b =
+  if a = t.true_lit then lnot b
+  else if b = t.true_lit then lnot a
+  else if a = -t.true_lit then b
+  else if b = -t.true_lit then a
+  else if a = b then -t.true_lit
+  else if a = -b then t.true_lit
+  else begin
+    let x = fresh t in
+    clause t [ -x; a; b ];
+    clause t [ -x; -a; -b ];
+    clause t [ x; -a; b ];
+    clause t [ x; a; -b ];
+    x
+  end
+
+let xnor2 t a b = lnot (xor2 t a b)
+
+let mux t c a b =
+  (* c ? a : b *)
+  if c = t.true_lit then a
+  else if c = -t.true_lit then b
+  else if a = b then a
+  else begin
+    let x = fresh t in
+    clause t [ -x; -c; a ];
+    clause t [ -x; c; b ];
+    clause t [ x; -c; -a ];
+    clause t [ x; c; -b ];
+    x
+  end
+
+let and_many t = function
+  | [] -> t.true_lit
+  | l :: ls -> List.fold_left (and2 t) l ls
+
+let or_many t = function
+  | [] -> -t.true_lit
+  | l :: ls -> List.fold_left (or2 t) l ls
+
+(* --- arithmetic circuits --------------------------------------------------- *)
+
+let full_adder t a b cin =
+  let sum = xor2 t (xor2 t a b) cin in
+  let cout = or2 t (and2 t a b) (and2 t cin (xor2 t a b)) in
+  (sum, cout)
+
+(* returns (sum vector, carry out) *)
+let adder t av bv cin =
+  let w = Array.length av in
+  let out = Array.make w 0 in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let s, c = full_adder t av.(i) bv.(i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  (out, !carry)
+
+let subtract t av bv =
+  (* a + ~b + 1; carry-out = 1 iff a >= b (unsigned) *)
+  adder t av (Array.map lnot bv) t.true_lit
+
+let ult_lit t av bv =
+  let _, carry = subtract t av bv in
+  lnot carry
+
+let slt_lit t av bv =
+  let w = Array.length av in
+  let av' = Array.copy av and bv' = Array.copy bv in
+  av'.(w - 1) <- lnot av.(w - 1);
+  bv'.(w - 1) <- lnot bv.(w - 1);
+  ult_lit t av' bv'
+
+let eq_vec_lit t av bv =
+  and_many t (Array.to_list (Array.map2 (xnor2 t) av bv))
+
+let multiplier t av bv =
+  let w = Array.length av in
+  let acc = ref (Array.make w (-t.true_lit)) in
+  for i = 0 to w - 1 do
+    (* partial product: (a << i) AND b_i, truncated to w bits *)
+    let partial =
+      Array.init w (fun j -> if j < i then -t.true_lit else and2 t av.(j - i) bv.(i))
+    in
+    acc := fst (adder t !acc partial (-t.true_lit))
+  done;
+  !acc
+
+let is_zero_lit t av = lnot (or_many t (Array.to_list av))
+
+(* Restoring long division. Returns (quotient, remainder) with the SMT-LIB
+   division-by-zero convention applied. *)
+let divider t av bv =
+  let w = Array.length av in
+  let q = Array.make w (-t.true_lit) in
+  (* remainder register, one bit wider to absorb the shift *)
+  let r = ref (Array.make (w + 1) (-t.true_lit)) in
+  let b_ext = Array.append bv [| -t.true_lit |] in
+  for i = w - 1 downto 0 do
+    (* r = (r << 1) | a_i, dropping the top bit (always 0 here because the
+       invariant r < b <= 2^w - 1 holds before the shift) *)
+    let shifted = Array.init (w + 1) (fun j -> if j = 0 then av.(i) else !r.(j - 1)) in
+    let diff, geq = subtract t shifted b_ext in
+    q.(i) <- geq;
+    r := Array.init (w + 1) (fun j -> mux t geq diff.(j) shifted.(j))
+  done;
+  let rem = Array.sub !r 0 w in
+  let bz = is_zero_lit t bv in
+  let quot_dz = Array.map (fun a_bit -> mux t bz t.true_lit a_bit) (Array.make w 0 |> Array.mapi (fun i _ -> q.(i))) in
+  let rem_dz = Array.init w (fun i -> mux t bz av.(i) rem.(i)) in
+  (quot_dz, rem_dz)
+
+let shifter t ~kind av amount =
+  let w = Array.length av in
+  (* number of stages: smallest s with 2^s >= w *)
+  let rec stages s = if 1 lsl s >= w then s else stages (s + 1) in
+  let s = stages 0 in
+  let fill =
+    match kind with
+    | `Shl | `Lshr -> -t.true_lit
+    | `Ashr -> av.(w - 1)
+  in
+  let step vec k bit =
+    let shift = 1 lsl k in
+    Array.init w (fun i ->
+        let src =
+          match kind with
+          | `Shl -> if i >= shift then vec.(i - shift) else -t.true_lit
+          | `Lshr | `Ashr -> if i + shift < w then vec.(i + shift) else fill
+        in
+        mux t bit src vec.(i))
+  in
+  let result = ref av in
+  for k = 0 to min (s - 1) (Array.length amount - 1) do
+    result := step !result k amount.(k)
+  done;
+  (* if any amount bit at position >= s is set, the shift overflows *)
+  let high_bits =
+    Array.to_list amount |> List.filteri (fun i _ -> i >= s)
+  in
+  let overflow = or_many t high_bits in
+  Array.map (fun bit -> mux t overflow fill bit) !result
+
+(* --- term translation ------------------------------------------------------ *)
+
+let rec translate t (term : Term.t) : repr =
+  match Hashtbl.find_opt t.cache term with
+  | Some r -> r
+  | None ->
+      let r = translate_uncached t term in
+      Hashtbl.replace t.cache term r;
+      r
+
+and bvec t term =
+  match translate t term with
+  | Rvec v -> v
+  | Rlit _ -> raise (Term.Sort_error "bitblast: expected bitvector")
+
+and blit t term =
+  match translate t term with
+  | Rlit l -> l
+  | Rvec _ -> raise (Term.Sort_error "bitblast: expected boolean")
+
+and translate_uncached t (term : Term.t) : repr =
+  match term with
+  | True -> Rlit t.true_lit
+  | False -> Rlit (-t.true_lit)
+  | Const bv ->
+      Rvec
+        (Array.init (Bv.width bv) (fun i ->
+             if Bv.bit bv i then t.true_lit else -t.true_lit))
+  | Var v -> (
+      match Hashtbl.find_opt t.term_vars v.id with
+      | Some (_, r) -> r
+      | None ->
+          let r =
+            match v.sort with
+            | Term.Bool -> Rlit (Sat.new_var t.sat)
+            | Term.Bitvec w -> Rvec (Array.init w (fun _ -> Sat.new_var t.sat))
+          in
+          Hashtbl.replace t.term_vars v.id (v, r);
+          r)
+  | Not a -> Rlit (lnot (blit t a))
+  | And (a, b) -> Rlit (and2 t (blit t a) (blit t b))
+  | Or (a, b) -> Rlit (or2 t (blit t a) (blit t b))
+  | Ite (c, a, b) -> (
+      let cl = blit t c in
+      match translate t a, translate t b with
+      | Rlit x, Rlit y -> Rlit (mux t cl x y)
+      | Rvec x, Rvec y -> Rvec (Array.map2 (mux t cl) x y)
+      | _ -> raise (Term.Sort_error "bitblast: ite branches"))
+  | Eq (a, b) -> (
+      match translate t a, translate t b with
+      | Rlit x, Rlit y -> Rlit (xnor2 t x y)
+      | Rvec x, Rvec y -> Rlit (eq_vec_lit t x y)
+      | _ -> raise (Term.Sort_error "bitblast: eq operands"))
+  | Ult (a, b) -> Rlit (ult_lit t (bvec t a) (bvec t b))
+  | Slt (a, b) -> Rlit (slt_lit t (bvec t a) (bvec t b))
+  | Ule (a, b) -> Rlit (lnot (ult_lit t (bvec t b) (bvec t a)))
+  | Sle (a, b) -> Rlit (lnot (slt_lit t (bvec t b) (bvec t a)))
+  | Add (a, b) -> Rvec (fst (adder t (bvec t a) (bvec t b) (-t.true_lit)))
+  | Sub (a, b) -> Rvec (fst (subtract t (bvec t a) (bvec t b)))
+  | Mul (a, b) -> Rvec (multiplier t (bvec t a) (bvec t b))
+  | Udiv (a, b) -> Rvec (fst (divider t (bvec t a) (bvec t b)))
+  | Urem (a, b) -> Rvec (snd (divider t (bvec t a) (bvec t b)))
+  | Bnot a -> Rvec (Array.map lnot (bvec t a))
+  | Band (a, b) -> Rvec (Array.map2 (and2 t) (bvec t a) (bvec t b))
+  | Bor (a, b) -> Rvec (Array.map2 (or2 t) (bvec t a) (bvec t b))
+  | Bxor (a, b) -> Rvec (Array.map2 (xor2 t) (bvec t a) (bvec t b))
+  | Shl (a, b) -> Rvec (shifter t ~kind:`Shl (bvec t a) (bvec t b))
+  | Lshr (a, b) -> Rvec (shifter t ~kind:`Lshr (bvec t a) (bvec t b))
+  | Ashr (a, b) -> Rvec (shifter t ~kind:`Ashr (bvec t a) (bvec t b))
+  | Concat (hi, lo) -> Rvec (Array.append (bvec t lo) (bvec t hi))
+  | Extract (hi, lo, a) -> Rvec (Array.sub (bvec t a) lo (hi - lo + 1))
+
+let lit_of t term = blit t term
+
+let assert_true t term =
+  match term with
+  | Term.True -> ()
+  | Term.False -> clause t []
+  | _ -> clause t [ blit t term ]
+
+let extract_model t =
+  Hashtbl.fold
+    (fun _ (var, r) model ->
+      match r with
+      | Rlit l ->
+          Model.add_bool var (Sat.lit_value t.sat l) model
+      | Rvec bits ->
+          let w = Array.length bits in
+          let value = ref 0L in
+          for i = w - 1 downto 0 do
+            value := Int64.shift_left !value 1;
+            if Sat.lit_value t.sat bits.(i) then
+              value := Int64.logor !value 1L
+          done;
+          Model.add_bv var (Bv.make ~width:w !value) model)
+    t.term_vars Model.empty

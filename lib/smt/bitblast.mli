@@ -1,0 +1,27 @@
+(** Bitblasting of bitvector terms to CNF over a {!Sat} instance.
+
+    A context owns a SAT solver and a cache mapping already-translated terms
+    to their SAT-level representation (a literal for booleans, an lsb-first
+    literal vector for bitvectors). Identical subterms are translated once.
+
+    Division and remainder follow SMT-LIB semantics ([udiv x 0 = ones],
+    [urem x 0 = x]); shifts by amounts [>= width] produce zero (or the sign
+    fill for arithmetic shifts). *)
+
+type t
+
+val create : Sat.t -> t
+val sat : t -> Sat.t
+
+val assert_true : t -> Term.t -> unit
+(** Constrain a boolean-sorted term to hold. *)
+
+val lit_of : t -> Term.t -> int
+(** DIMACS literal equisatisfiable with a boolean-sorted term. *)
+
+val extract_model : t -> Model.t
+(** Read back values for every term variable mentioned so far. Only valid
+    after [Sat.solve] returned [Sat]. *)
+
+val clauses_added : t -> int
+val aux_vars : t -> int

@@ -1,0 +1,120 @@
+type t = { width : int; value : int64 }
+
+let mask width =
+  if width = 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
+
+let make ~width v =
+  if width < 1 || width > 64 then
+    invalid_arg (Printf.sprintf "Bv.make: bad width %d" width);
+  { width; value = Int64.logand v (mask width) }
+
+let of_int ~width v = make ~width (Int64.of_int v)
+let zero width = make ~width 0L
+let one width = make ~width 1L
+let ones width = make ~width (-1L)
+let width t = t.width
+let value t = t.value
+
+let to_int t =
+  if Int64.shift_right_logical t.value 62 <> 0L then
+    invalid_arg "Bv.to_int: value does not fit"
+  else Int64.to_int t.value
+
+let to_signed_int64 t =
+  if t.width = 64 then t.value
+  else
+    let shift = 64 - t.width in
+    Int64.shift_right (Int64.shift_left t.value shift) shift
+
+let equal a b = a.width = b.width && Int64.equal a.value b.value
+let compare_unsigned a b = Int64.unsigned_compare a.value b.value
+let compare_signed a b = Int64.compare (to_signed_int64 a) (to_signed_int64 b)
+
+let check2 name a b =
+  if a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Bv.%s: width mismatch (%d vs %d)" name a.width b.width)
+
+let lift2 name f a b =
+  check2 name a b;
+  make ~width:a.width (f a.value b.value)
+
+let add = lift2 "add" Int64.add
+let sub = lift2 "sub" Int64.sub
+let mul = lift2 "mul" Int64.mul
+
+let udiv a b =
+  check2 "udiv" a b;
+  if Int64.equal b.value 0L then ones a.width
+  else make ~width:a.width (Int64.unsigned_div a.value b.value)
+
+let urem a b =
+  check2 "urem" a b;
+  if Int64.equal b.value 0L then a
+  else make ~width:a.width (Int64.unsigned_rem a.value b.value)
+
+let neg a = make ~width:a.width (Int64.neg a.value)
+let lognot a = make ~width:a.width (Int64.lognot a.value)
+let logand = lift2 "logand" Int64.logand
+let logor = lift2 "logor" Int64.logor
+let logxor = lift2 "logxor" Int64.logxor
+
+let shift_amount b =
+  (* Amounts >= width are handled by the callers; 64 is a safe saturation
+     value because OCaml's int64 shifts are undefined past 63. *)
+  if Int64.unsigned_compare b.value 64L >= 0 then 64
+  else Int64.to_int b.value
+
+let shl a b =
+  check2 "shl" a b;
+  let n = shift_amount b in
+  if n >= a.width then zero a.width
+  else make ~width:a.width (Int64.shift_left a.value n)
+
+let lshr a b =
+  check2 "lshr" a b;
+  let n = shift_amount b in
+  if n >= a.width then zero a.width
+  else make ~width:a.width (Int64.shift_right_logical a.value n)
+
+let ashr a b =
+  check2 "ashr" a b;
+  let n = shift_amount b in
+  let signed = to_signed_int64 a in
+  if n >= a.width then
+    if Int64.compare signed 0L < 0 then ones a.width else zero a.width
+  else make ~width:a.width (Int64.shift_right signed n)
+
+let ult a b = compare_unsigned a b < 0
+let ule a b = compare_unsigned a b <= 0
+let slt a b = compare_signed a b < 0
+let sle a b = compare_signed a b <= 0
+
+let extract ~hi ~lo t =
+  if lo < 0 || hi < lo || hi >= t.width then
+    invalid_arg
+      (Printf.sprintf "Bv.extract: bad range [%d..%d] for width %d" hi lo
+         t.width);
+  make ~width:(hi - lo + 1) (Int64.shift_right_logical t.value lo)
+
+let concat hi lo =
+  let width = hi.width + lo.width in
+  if width > 64 then invalid_arg "Bv.concat: combined width exceeds 64";
+  make ~width
+    (Int64.logor (Int64.shift_left hi.value lo.width) lo.value)
+
+let zero_extend ~by t =
+  if by < 0 then invalid_arg "Bv.zero_extend: negative";
+  make ~width:(t.width + by) t.value
+
+let sign_extend ~by t =
+  if by < 0 then invalid_arg "Bv.sign_extend: negative";
+  make ~width:(t.width + by) (to_signed_int64 t)
+
+let bit t i =
+  if i < 0 || i >= t.width then
+    invalid_arg (Printf.sprintf "Bv.bit: index %d out of width %d" i t.width);
+  Int64.logand (Int64.shift_right_logical t.value i) 1L = 1L
+
+let to_string t = Printf.sprintf "%Lu:%d" t.value t.width
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,70 @@
+(** Fixed-width bitvector values (widths 1..64).
+
+    Values are kept normalized: the representation is an [int64] whose bits
+    above [width] are always zero. All arithmetic is modular in the given
+    width, matching SMT-LIB QF_BV semantics (including the division-by-zero
+    conventions: [udiv x 0 = ones], [urem x 0 = x]). *)
+
+type t = private { width : int; value : int64 }
+
+val make : width:int -> int64 -> t
+(** [make ~width v] truncates [v] to [width] bits. Raises [Invalid_argument]
+    unless [1 <= width <= 64]. *)
+
+val of_int : width:int -> int -> t
+val zero : int -> t
+val one : int -> t
+val ones : int -> t
+(** All bits set, i.e. the maximum unsigned value of the width. *)
+
+val width : t -> int
+val value : t -> int64
+val to_int : t -> int
+(** Unsigned value as an OCaml [int]. Raises [Invalid_argument] if it does
+    not fit in 62 bits. *)
+
+val to_signed_int64 : t -> int64
+(** Sign-extended value. *)
+
+val equal : t -> t -> bool
+val compare_unsigned : t -> t -> int
+val compare_signed : t -> t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val udiv : t -> t -> t
+val urem : t -> t -> t
+val neg : t -> t
+
+val lognot : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+
+val shl : t -> t -> t
+(** Shift left; amounts [>= width] yield zero. *)
+
+val lshr : t -> t -> t
+val ashr : t -> t -> t
+
+val ult : t -> t -> bool
+val ule : t -> t -> bool
+val slt : t -> t -> bool
+val sle : t -> t -> bool
+
+val extract : hi:int -> lo:int -> t -> t
+(** Bits [hi..lo] inclusive; result width is [hi - lo + 1]. *)
+
+val concat : t -> t -> t
+(** [concat hi lo]: [hi] occupies the most significant bits. Raises if the
+    combined width exceeds 64. *)
+
+val zero_extend : by:int -> t -> t
+val sign_extend : by:int -> t -> t
+
+val bit : t -> int -> bool
+(** [bit v i] is bit [i] (0 = least significant). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

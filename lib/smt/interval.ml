@@ -1,0 +1,98 @@
+type bounds = { lo : int64; hi : int64 }
+
+let ucmp = Int64.unsigned_compare
+let umin a b = if ucmp a b <= 0 then a else b
+let umax a b = if ucmp a b >= 0 then a else b
+
+type acc = {
+  mutable ivals : (Term.var * bounds) list; (* keyed by var id *)
+  mutable neqs : (int * int64) list; (* var id, excluded value *)
+  mutable empty : bool;
+}
+
+let full_bounds (v : Term.var) =
+  match v.sort with
+  | Term.Bitvec w -> { lo = 0L; hi = Bv.value (Bv.ones w) }
+  | Term.Bool -> { lo = 0L; hi = 1L }
+
+let refine acc (v : Term.var) ~lo ~hi =
+  if not acc.empty then begin
+    let current =
+      match List.assq_opt v acc.ivals with
+      | Some b -> b
+      | None -> full_bounds v
+    in
+    let lo = umax current.lo lo and hi = umin current.hi hi in
+    if ucmp lo hi > 0 then acc.empty <- true
+    else acc.ivals <- (v, { lo; hi }) :: List.remove_assq v acc.ivals
+  end
+
+let exclude acc (v : Term.var) value = acc.neqs <- (v.id, value) :: acc.neqs
+
+(* Recognize [atom] (positively or negatively) as a bound on a single
+   variable. Anything unrecognized is ignored, which is sound. *)
+let rec scan acc ~positive (atom : Term.t) =
+  let max_of (v : Term.var) = (full_bounds v).hi in
+  match atom, positive with
+  | Term.Not t, _ -> scan acc ~positive:(not positive) t
+  | Term.And (a, b), true ->
+      scan acc ~positive:true a;
+      scan acc ~positive:true b
+  | Term.Eq (Var v, Const c), true | Term.Eq (Const c, Var v), true ->
+      refine acc v ~lo:(Bv.value c) ~hi:(Bv.value c)
+  | Term.Eq (Var v, Const c), false | Term.Eq (Const c, Var v), false ->
+      exclude acc v (Bv.value c)
+  | Term.Ult (Var v, Const c), true ->
+      (* x < c; c = 0 cannot be produced by the smart constructors *)
+      if Bv.value c = 0L then acc.empty <- true
+      else refine acc v ~lo:0L ~hi:(Int64.sub (Bv.value c) 1L)
+  | Term.Ult (Var v, Const c), false ->
+      refine acc v ~lo:(Bv.value c) ~hi:(max_of v)
+  | Term.Ult (Const c, Var v), true ->
+      if ucmp (Bv.value c) (max_of v) >= 0 then acc.empty <- true
+      else refine acc v ~lo:(Int64.add (Bv.value c) 1L) ~hi:(max_of v)
+  | Term.Ult (Const c, Var v), false -> refine acc v ~lo:0L ~hi:(Bv.value c)
+  | Term.Ule (Var v, Const c), true -> refine acc v ~lo:0L ~hi:(Bv.value c)
+  | Term.Ule (Var v, Const c), false ->
+      if ucmp (Bv.value c) (max_of v) >= 0 then acc.empty <- true
+      else refine acc v ~lo:(Int64.add (Bv.value c) 1L) ~hi:(max_of v)
+  | Term.Ule (Const c, Var v), true ->
+      refine acc v ~lo:(Bv.value c) ~hi:(max_of v)
+  | Term.Ule (Const c, Var v), false ->
+      if Bv.value c = 0L then acc.empty <- true
+      else refine acc v ~lo:0L ~hi:(Int64.sub (Bv.value c) 1L)
+  | Term.False, true | Term.True, false -> acc.empty <- true
+  | _ -> ()
+
+let analyze terms =
+  let acc = { ivals = []; neqs = []; empty = false } in
+  List.iter (scan acc ~positive:true) terms;
+  if acc.empty then None
+  else begin
+    (* tighten interval edges against disequalities *)
+    let tightened =
+      List.map
+        (fun ((v : Term.var), b) ->
+          let excluded x = List.mem (v.id, x) acc.neqs in
+          let rec tighten b =
+            if ucmp b.lo b.hi > 0 then None
+            else if excluded b.lo then
+              if Int64.equal b.lo b.hi then None
+              else tighten { b with lo = Int64.add b.lo 1L }
+            else if excluded b.hi then
+              if Int64.equal b.lo b.hi then None
+              else tighten { b with hi = Int64.sub b.hi 1L }
+            else Some b
+          in
+          (v, tighten b))
+        acc.ivals
+    in
+    if List.exists (fun (_, b) -> b = None) tightened then None
+    else
+      Some
+        (List.filter_map
+           (fun (v, b) -> Option.map (fun b -> (v, b)) b)
+           tightened)
+  end
+
+let definitely_unsat terms = Option.is_none (analyze terms)

@@ -1,0 +1,86 @@
+type value = Vbool of bool | Vbv of Bv.t
+
+module Int_map = Map.Make (Int)
+
+type t = (Term.var * value) Int_map.t
+
+let empty = Int_map.empty
+
+let value_sort = function
+  | Vbool _ -> Term.Bool
+  | Vbv bv -> Term.Bitvec (Bv.width bv)
+
+let add (v : Term.var) value t =
+  if not (Term.sort_equal v.sort (value_sort value)) then
+    invalid_arg (Printf.sprintf "Model.add: sort mismatch for %s" v.name);
+  Int_map.add v.id (v, value) t
+
+let add_bv v bv t = add v (Vbv bv) t
+let add_bool v b t = add v (Vbool b) t
+let of_list l = List.fold_left (fun acc (v, value) -> add v value acc) empty l
+let find t (v : Term.var) = Option.map snd (Int_map.find_opt v.id t)
+let bindings t = Int_map.bindings t |> List.map snd
+
+let pp_value fmt = function
+  | Vbool b -> Format.pp_print_bool fmt b
+  | Vbv bv -> Bv.pp fmt bv
+
+let default_value (sort : Term.sort) =
+  match sort with Bool -> Vbool false | Bitvec w -> Vbv (Bv.zero w)
+
+let as_bool = function
+  | Vbool b -> b
+  | Vbv _ -> raise (Term.Sort_error "eval: expected Bool")
+
+let as_bv = function
+  | Vbv bv -> bv
+  | Vbool _ -> raise (Term.Sort_error "eval: expected bitvector")
+
+let rec eval t (term : Term.t) =
+  let b e = as_bool (eval t e) in
+  let v e = as_bv (eval t e) in
+  match term with
+  | True -> Vbool true
+  | False -> Vbool false
+  | Const bv -> Vbv bv
+  | Var var -> (
+      match find t var with Some value -> value | None -> default_value var.sort)
+  | Not e -> Vbool (not (b e))
+  | And (x, y) -> Vbool (b x && b y)
+  | Or (x, y) -> Vbool (b x || b y)
+  | Ite (c, x, y) -> if b c then eval t x else eval t y
+  | Eq (x, y) -> (
+      match eval t x, eval t y with
+      | Vbool p, Vbool q -> Vbool (Bool.equal p q)
+      | Vbv p, Vbv q -> Vbool (Bv.equal p q)
+      | _ -> raise (Term.Sort_error "eval: eq on mismatched sorts"))
+  | Ult (x, y) -> Vbool (Bv.ult (v x) (v y))
+  | Slt (x, y) -> Vbool (Bv.slt (v x) (v y))
+  | Ule (x, y) -> Vbool (Bv.ule (v x) (v y))
+  | Sle (x, y) -> Vbool (Bv.sle (v x) (v y))
+  | Add (x, y) -> Vbv (Bv.add (v x) (v y))
+  | Sub (x, y) -> Vbv (Bv.sub (v x) (v y))
+  | Mul (x, y) -> Vbv (Bv.mul (v x) (v y))
+  | Udiv (x, y) -> Vbv (Bv.udiv (v x) (v y))
+  | Urem (x, y) -> Vbv (Bv.urem (v x) (v y))
+  | Bnot x -> Vbv (Bv.lognot (v x))
+  | Band (x, y) -> Vbv (Bv.logand (v x) (v y))
+  | Bor (x, y) -> Vbv (Bv.logor (v x) (v y))
+  | Bxor (x, y) -> Vbv (Bv.logxor (v x) (v y))
+  | Shl (x, y) -> Vbv (Bv.shl (v x) (v y))
+  | Lshr (x, y) -> Vbv (Bv.lshr (v x) (v y))
+  | Ashr (x, y) -> Vbv (Bv.ashr (v x) (v y))
+  | Concat (x, y) -> Vbv (Bv.concat (v x) (v y))
+  | Extract (hi, lo, x) -> Vbv (Bv.extract ~hi ~lo (v x))
+
+let eval_bool t term = as_bool (eval t term)
+let eval_bv t term = as_bv (eval t term)
+let satisfies t terms = List.for_all (eval_bool t) terms
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun ((var : Term.var), value) ->
+      Format.fprintf fmt "%s#%d = %a@," var.name var.id pp_value value)
+    (bindings t);
+  Format.fprintf fmt "@]"

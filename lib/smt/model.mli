@@ -1,0 +1,32 @@
+(** Assignments of concrete values to term variables, and term evaluation.
+
+    A model maps variable ids to values. Evaluation is total: variables
+    absent from the model default to [false] / zero, matching the solver's
+    convention that unconstrained variables may take any value. *)
+
+type value = Vbool of bool | Vbv of Bv.t
+
+type t
+
+val empty : t
+val add : Term.var -> value -> t -> t
+val add_bv : Term.var -> Bv.t -> t -> t
+val add_bool : Term.var -> bool -> t -> t
+val of_list : (Term.var * value) list -> t
+val find : t -> Term.var -> value option
+val bindings : t -> (Term.var * value) list
+(** In ascending variable-id order. *)
+
+val value_sort : value -> Term.sort
+val pp_value : Format.formatter -> value -> unit
+
+val eval : t -> Term.t -> value
+(** Evaluate a term under the model. Raises [Term.Sort_error] on ill-sorted
+    terms. *)
+
+val eval_bool : t -> Term.t -> bool
+val eval_bv : t -> Term.t -> Bv.t
+val satisfies : t -> Term.t list -> bool
+(** Do all the given boolean terms evaluate to [true]? *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(** A CDCL SAT solver (two-watched literals, first-UIP clause learning,
+    VSIDS branching, phase saving, Luby restarts, learnt-clause reduction).
+
+    Literals use the DIMACS convention: a positive integer [v] denotes
+    variable [v], [-v] its negation. Variables must be allocated with
+    {!new_var} before use.
+
+    Instances support {e incremental} use: call {!solve} repeatedly with
+    different [assumptions] while adding clauses in between; learnt clauses
+    persist across calls. An [Unsat] answer without assumptions is final
+    for the instance; under assumptions it only covers that assumption set
+    (unless the instance itself became unsatisfiable, which subsequent
+    calls report). *)
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its (positive) index, starting at 1. *)
+
+val num_vars : t -> int
+
+val add_clause : t -> int list -> unit
+(** Add a clause. Adding the empty clause (or only falsified literals at
+    level 0) makes the instance unsatisfiable. Raises [Invalid_argument] on
+    literals naming unallocated variables. *)
+
+type result = Sat | Unsat
+
+val solve : ?conflict_limit:int -> ?assumptions:int list -> t -> result option
+(** Run the search, optionally under assumption literals that hold for this
+    call only. [None] means the conflict limit was exhausted (only possible
+    when [conflict_limit] is given). *)
+
+val value : t -> int -> bool
+(** Value of a variable in the satisfying assignment; only valid after
+    {!solve} returned [Sat]. Unassigned variables read as [false]. *)
+
+val lit_value : t -> int -> bool
+(** Value of a DIMACS literal under the model. *)
+
+(** {1 Statistics} *)
+
+val conflicts : t -> int
+val decisions : t -> int
+val propagations : t -> int
+
+val unsat_core : t -> int list
+(** After {!solve} returned [Unsat] under assumptions: the subset of the
+    assumption literals (DIMACS) that already suffices for
+    unsatisfiability. Empty when the instance is unsatisfiable outright. *)

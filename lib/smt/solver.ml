@@ -1,0 +1,190 @@
+type result = Sat of Model.t | Unsat | Unknown
+
+type stats = {
+  mutable queries : int;
+  mutable cache_hits : int;
+  mutable interval_prunes : int;
+  mutable sat_calls : int;
+  mutable sat_results : int;
+  mutable unsat_results : int;
+  mutable solve_time : float;
+}
+
+let the_stats =
+  {
+    queries = 0;
+    cache_hits = 0;
+    interval_prunes = 0;
+    sat_calls = 0;
+    sat_results = 0;
+    unsat_results = 0;
+    solve_time = 0.;
+  }
+
+let stats () = the_stats
+
+let reset_stats () =
+  the_stats.queries <- 0;
+  the_stats.cache_hits <- 0;
+  the_stats.interval_prunes <- 0;
+  the_stats.sat_calls <- 0;
+  the_stats.sat_results <- 0;
+  the_stats.unsat_results <- 0;
+  the_stats.solve_time <- 0.
+
+let cache : (Term.t list, result) Hashtbl.t = Hashtbl.create 1024
+let cache_enabled = ref true
+let clear_cache () = Hashtbl.reset cache
+let set_cache_enabled b = cache_enabled := b
+
+(* Flatten nested conjunctions, drop [True], dedupe and sort for a canonical
+   cache key. Returns [None] when a conjunct is literally [False]. *)
+let canonicalize terms =
+  let rec flatten acc = function
+    | [] -> Some acc
+    | Term.True :: rest -> flatten acc rest
+    | Term.False :: _ -> None
+    | Term.And (a, b) :: rest -> flatten acc (a :: b :: rest)
+    | t :: rest -> flatten (t :: acc) rest
+  in
+  Option.map (List.sort_uniq Term.compare) (flatten [] terms)
+
+let solve_with_sat ?conflict_limit terms =
+  let sat = Sat.create () in
+  let bb = Bitblast.create sat in
+  List.iter (Bitblast.assert_true bb) terms;
+  the_stats.sat_calls <- the_stats.sat_calls + 1;
+  let t0 = Unix.gettimeofday () in
+  let answer = Sat.solve ?conflict_limit sat in
+  the_stats.solve_time <- the_stats.solve_time +. (Unix.gettimeofday () -. t0);
+  match answer with
+  | Some Sat.Sat ->
+      the_stats.sat_results <- the_stats.sat_results + 1;
+      Sat (Bitblast.extract_model bb)
+  | Some Sat.Unsat ->
+      the_stats.unsat_results <- the_stats.unsat_results + 1;
+      Unsat
+  | None -> Unknown
+
+let check ?conflict_limit terms =
+  the_stats.queries <- the_stats.queries + 1;
+  match canonicalize terms with
+  | None ->
+      the_stats.unsat_results <- the_stats.unsat_results + 1;
+      Unsat
+  | Some [] -> Sat Model.empty
+  | Some key -> (
+      match if !cache_enabled then Hashtbl.find_opt cache key else None with
+      | Some r ->
+          the_stats.cache_hits <- the_stats.cache_hits + 1;
+          r
+      | None ->
+          let r =
+            if Interval.definitely_unsat key then begin
+              the_stats.interval_prunes <- the_stats.interval_prunes + 1;
+              Unsat
+            end
+            else solve_with_sat ?conflict_limit key
+          in
+          (match r with
+          | Unknown -> ()
+          | Sat _ | Unsat ->
+              if !cache_enabled then Hashtbl.replace cache key r);
+          r)
+
+let is_sat terms = match check terms with Sat _ -> true | Unsat | Unknown -> false
+let is_unsat terms = match check terms with Unsat -> true | Sat _ | Unknown -> false
+
+let get_model terms =
+  match check terms with Sat m -> Some m | Unsat | Unknown -> None
+
+let implied assumptions t = is_unsat (Term.not_ t :: assumptions)
+
+(* --- incremental sessions ------------------------------------------------- *)
+
+module Incremental = struct
+  type session = {
+    sat : Sat.t;
+    bb : Bitblast.t;
+    indicators : (Term.t, int) Hashtbl.t; (* assumption term -> guard var *)
+    terms_of_guard : (int, Term.t) Hashtbl.t; (* reverse, for unsat cores *)
+    mutable dead : bool; (* permanent constraints became unsatisfiable *)
+  }
+
+  let create () =
+    let sat = Sat.create () in
+    {
+      sat;
+      bb = Bitblast.create sat;
+      indicators = Hashtbl.create 64;
+      terms_of_guard = Hashtbl.create 64;
+      dead = false;
+    }
+
+  let assert_always session term =
+    match term with
+    | Term.True -> ()
+    | Term.False -> session.dead <- true
+    | _ -> Bitblast.assert_true session.bb term
+
+  (* Guard variable implying the term: assuming the guard forces the term.
+     Terms are translated (and their implication clause added) once per
+     session; later checks reuse the same guard. *)
+  let indicator session term =
+    match Hashtbl.find_opt session.indicators term with
+    | Some g -> g
+    | None ->
+        let g = Sat.new_var session.sat in
+        Sat.add_clause session.sat [ -g; Bitblast.lit_of session.bb term ];
+        Hashtbl.replace session.indicators term g;
+        Hashtbl.replace session.terms_of_guard g term;
+        g
+
+  let check ?conflict_limit session terms =
+    the_stats.queries <- the_stats.queries + 1;
+    if session.dead then Unsat
+    else begin
+      match canonicalize terms with
+      | None -> Unsat
+      | Some terms ->
+          let assumptions = List.map (indicator session) terms in
+          the_stats.sat_calls <- the_stats.sat_calls + 1;
+          let t0 = Unix.gettimeofday () in
+          let answer = Sat.solve ?conflict_limit ~assumptions session.sat in
+          the_stats.solve_time <-
+            the_stats.solve_time +. (Unix.gettimeofday () -. t0);
+          (match answer with
+          | Some Sat.Sat ->
+              the_stats.sat_results <- the_stats.sat_results + 1;
+              Sat (Bitblast.extract_model session.bb)
+          | Some Sat.Unsat ->
+              the_stats.unsat_results <- the_stats.unsat_results + 1;
+              (* Unsat under assumptions; the session stays usable unless
+                 the permanent part itself is contradictory, which the next
+                 unassumed call would reveal. *)
+              Unsat
+          | None -> Unknown)
+    end
+
+  (* The subset of the last check's terms already responsible for its
+     unsatisfiability; [None] when the permanent constraints alone are
+     contradictory (the empty core). *)
+  let unsat_core session =
+    match Sat.unsat_core session.sat with
+    | [] -> None
+    | lits ->
+        Some
+          (List.filter_map
+             (fun l -> Hashtbl.find_opt session.terms_of_guard (abs l))
+             lits)
+
+  let is_sat ?conflict_limit session terms =
+    match check ?conflict_limit session terms with
+    | Sat _ -> true
+    | Unsat | Unknown -> false
+
+  let is_unsat ?conflict_limit session terms =
+    match check ?conflict_limit session terms with
+    | Unsat -> true
+    | Sat _ | Unknown -> false
+end

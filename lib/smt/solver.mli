@@ -1,0 +1,77 @@
+(** Front end of the SMT solver: satisfiability of conjunctions of boolean
+    terms over the QF_BV theory.
+
+    Pipeline per query: structural canonicalization (flatten conjunctions,
+    dedupe, detect trivial answers) -> result cache lookup -> unsigned
+    interval pre-check -> bitblasting -> CDCL SAT search -> model
+    extraction. The cache is global to the library and can be cleared for
+    measurements. *)
+
+type result = Sat of Model.t | Unsat | Unknown
+
+val check : ?conflict_limit:int -> Term.t list -> result
+(** Satisfiability of the conjunction. [Unknown] is only returned when
+    [conflict_limit] is given and exhausted. *)
+
+val is_sat : Term.t list -> bool
+(** [check] specialized; treats [Unknown] as satisfiable is never needed
+    because no limit is passed. *)
+
+val is_unsat : Term.t list -> bool
+
+val get_model : Term.t list -> Model.t option
+(** A satisfying assignment, if one exists. *)
+
+val implied : Term.t list -> Term.t -> bool
+(** [implied assumptions t]: does the conjunction of [assumptions] entail
+    [t]? *)
+
+(** {1 Statistics and cache control} *)
+
+type stats = {
+  mutable queries : int;
+  mutable cache_hits : int;
+  mutable interval_prunes : int; (* queries settled by the interval check *)
+  mutable sat_calls : int;
+  mutable sat_results : int;
+  mutable unsat_results : int;
+  mutable solve_time : float; (* seconds spent inside the SAT solver *)
+}
+
+val stats : unit -> stats
+(** Live statistics record (mutated in place by the solver). *)
+
+val reset_stats : unit -> unit
+val clear_cache : unit -> unit
+val set_cache_enabled : bool -> unit
+
+(** {1 Incremental sessions}
+
+    A session keeps one SAT instance alive across queries: permanent
+    constraints are asserted once, and each {!Incremental.check} solves
+    under per-call assumption terms (guard literals in the underlying CDCL
+    solver). Terms are bitblasted once per session and learnt clauses
+    persist, which is exactly right for symbolic execution's pattern of
+    re-querying a fixed binding under monotonically growing path
+    constraints. *)
+module Incremental : sig
+  type session
+
+  val create : unit -> session
+
+  val assert_always : session -> Term.t -> unit
+  (** Add a permanent constraint. *)
+
+  val check : ?conflict_limit:int -> session -> Term.t list -> result
+  (** Satisfiability of (permanent constraints /\ the given terms); the
+      given terms hold for this call only. *)
+
+  val is_sat : ?conflict_limit:int -> session -> Term.t list -> bool
+  val is_unsat : ?conflict_limit:int -> session -> Term.t list -> bool
+
+  val unsat_core : session -> Term.t list option
+  (** After an [Unsat] answer: the subset of that check's terms already
+      sufficient for unsatisfiability together with the permanent
+      constraints — an explanation of the conflict. [None] when the
+      permanent constraints alone are contradictory. *)
+end

@@ -1,0 +1,504 @@
+type sort = Bool | Bitvec of int
+
+type var = { id : int; name : string; sort : sort }
+
+type t =
+  | True
+  | False
+  | Const of Bv.t
+  | Var of var
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Ite of t * t * t
+  | Eq of t * t
+  | Ult of t * t
+  | Slt of t * t
+  | Ule of t * t
+  | Sle of t * t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Udiv of t * t
+  | Urem of t * t
+  | Bnot of t
+  | Band of t * t
+  | Bor of t * t
+  | Bxor of t * t
+  | Shl of t * t
+  | Lshr of t * t
+  | Ashr of t * t
+  | Concat of t * t
+  | Extract of int * int * t
+
+exception Sort_error of string
+
+let sort_error fmt = Format.kasprintf (fun s -> raise (Sort_error s)) fmt
+
+let sort_equal a b =
+  match a, b with
+  | Bool, Bool -> true
+  | Bitvec w1, Bitvec w2 -> w1 = w2
+  | Bool, Bitvec _ | Bitvec _, Bool -> false
+
+let pp_sort fmt = function
+  | Bool -> Format.pp_print_string fmt "Bool"
+  | Bitvec w -> Format.fprintf fmt "Bv%d" w
+
+let fresh_counter = ref 0
+
+let fresh_var ?(name = "v") sort =
+  incr fresh_counter;
+  { id = !fresh_counter; name; sort }
+
+let reset_fresh_counter () = fresh_counter := 0
+
+let rec sort_of = function
+  | True | False | Not _ | And _ | Or _ | Eq _ | Ult _ | Slt _ | Ule _
+  | Sle _ ->
+      Bool
+  | Const bv -> Bitvec (Bv.width bv)
+  | Var v -> v.sort
+  | Ite (_, a, _) -> sort_of a
+  | Add (a, _) | Sub (a, _) | Mul (a, _) | Udiv (a, _) | Urem (a, _)
+  | Band (a, _) | Bor (a, _) | Bxor (a, _) | Shl (a, _) | Lshr (a, _)
+  | Ashr (a, _) | Bnot a ->
+      sort_of a
+  | Concat (a, b) -> (
+      match sort_of a, sort_of b with
+      | Bitvec w1, Bitvec w2 -> Bitvec (w1 + w2)
+      | _ -> sort_error "concat of non-bitvectors")
+  | Extract (hi, lo, _) -> Bitvec (hi - lo + 1)
+
+let width_of t =
+  match sort_of t with
+  | Bitvec w -> w
+  | Bool -> sort_error "expected a bitvector, got a boolean"
+
+let tru = True
+let fls = False
+let bool b = if b then True else False
+let const bv = Const bv
+let int ~width v = Const (Bv.of_int ~width v)
+let var v = Var v
+
+let check_bv_pair name a b =
+  match sort_of a, sort_of b with
+  | Bitvec w1, Bitvec w2 when w1 = w2 -> w1
+  | sa, sb -> sort_error "%s: incompatible sorts %a and %a" name pp_sort sa pp_sort sb
+
+let check_bool name t =
+  match sort_of t with
+  | Bool -> ()
+  | s -> sort_error "%s: expected Bool, got %a" name pp_sort s
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not t -> t
+  | t ->
+      check_bool "not" t;
+      Not t
+
+let and_ a b =
+  match a, b with
+  | True, t | t, True ->
+      check_bool "and" t;
+      t
+  | False, _ | _, False -> False
+  | _ when a = b -> a
+  | _ ->
+      check_bool "and" a;
+      check_bool "and" b;
+      And (a, b)
+
+let or_ a b =
+  match a, b with
+  | False, t | t, False ->
+      check_bool "or" t;
+      t
+  | True, _ | _, True -> True
+  | _ when a = b -> a
+  | _ ->
+      check_bool "or" a;
+      check_bool "or" b;
+      Or (a, b)
+
+let and_l ts = List.fold_left and_ True ts
+let or_l ts = List.fold_left or_ False ts
+let implies a b = or_ (not_ a) b
+
+let ite c a b =
+  if not (sort_equal (sort_of a) (sort_of b)) then
+    sort_error "ite: branch sorts differ";
+  match c with
+  | True -> a
+  | False -> b
+  | _ when a = b -> a
+  | _ -> (
+      check_bool "ite" c;
+      match a, b with
+      | True, False -> c
+      | False, True -> not_ c
+      | _ -> Ite (c, a, b))
+
+let eq a b =
+  if not (sort_equal (sort_of a) (sort_of b)) then
+    sort_error "eq: operand sorts differ (%a vs %a)" pp_sort (sort_of a)
+      pp_sort (sort_of b);
+  match a, b with
+  | _ when a = b -> True
+  | Const x, Const y -> bool (Bv.equal x y)
+  | True, t | t, True -> t
+  | False, t | t, False -> not_ t
+  | _ -> Eq (a, b)
+
+let neq a b = not_ (eq a b)
+
+let is_const = function True | False | Const _ -> true | _ -> false
+
+let cmp name fold node a b =
+  let _w = check_bv_pair name a b in
+  match a, b with
+  | Const x, Const y -> bool (fold x y)
+  | _ -> node a b
+
+let ult a b =
+  match a, b with
+  | _ when a = b && not (is_const a) -> False
+  | Const x, _ when Bv.equal x (Bv.ones (Bv.width x)) -> False
+  | _, Const y when Bv.equal y (Bv.zero (Bv.width y)) -> False
+  | _ -> cmp "ult" Bv.ult (fun a b -> Ult (a, b)) a b
+
+let slt a b =
+  if a = b && not (is_const a) then False
+  else cmp "slt" Bv.slt (fun a b -> Slt (a, b)) a b
+
+let ule a b =
+  if a = b && not (is_const a) then True
+  else cmp "ule" Bv.ule (fun a b -> Ule (a, b)) a b
+
+let sle a b =
+  if a = b && not (is_const a) then True
+  else cmp "sle" Bv.sle (fun a b -> Sle (a, b)) a b
+
+let ugt a b = ult b a
+let uge a b = ule b a
+let sgt a b = slt b a
+let sge a b = sle b a
+
+let is_zero = function Const bv -> Bv.equal bv (Bv.zero (Bv.width bv)) | _ -> false
+let is_one = function Const bv -> Bv.equal bv (Bv.one (Bv.width bv)) | _ -> false
+let is_ones = function Const bv -> Bv.equal bv (Bv.ones (Bv.width bv)) | _ -> false
+
+let add a b =
+  let _ = check_bv_pair "add" a b in
+  match a, b with
+  | Const x, Const y -> Const (Bv.add x y)
+  | t, z when is_zero z -> t
+  | z, t when is_zero z -> t
+  | _ -> Add (a, b)
+
+let sub a b =
+  let w = check_bv_pair "sub" a b in
+  match a, b with
+  | Const x, Const y -> Const (Bv.sub x y)
+  | t, z when is_zero z -> t
+  | _ when a = b -> Const (Bv.zero w)
+  | _ -> Sub (a, b)
+
+let mul a b =
+  let w = check_bv_pair "mul" a b in
+  match a, b with
+  | Const x, Const y -> Const (Bv.mul x y)
+  | _, z when is_zero z -> Const (Bv.zero w)
+  | z, _ when is_zero z -> Const (Bv.zero w)
+  | t, o when is_one o -> t
+  | o, t when is_one o -> t
+  | _ -> Mul (a, b)
+
+let udiv a b =
+  let _ = check_bv_pair "udiv" a b in
+  match a, b with
+  | Const x, Const y -> Const (Bv.udiv x y)
+  | t, o when is_one o -> t
+  | _ -> Udiv (a, b)
+
+let urem a b =
+  let _ = check_bv_pair "urem" a b in
+  match a, b with
+  | Const x, Const y -> Const (Bv.urem x y)
+  | _ -> Urem (a, b)
+
+let bnot = function
+  | Const x -> Const (Bv.lognot x)
+  | Bnot t -> t
+  | t ->
+      let _ = width_of t in
+      Bnot t
+
+let neg t =
+  match t with
+  | Const x -> Const (Bv.neg x)
+  | _ ->
+      let w = width_of t in
+      sub (Const (Bv.zero w)) t
+
+let band a b =
+  let w = check_bv_pair "band" a b in
+  match a, b with
+  | Const x, Const y -> Const (Bv.logand x y)
+  | _, z when is_zero z -> Const (Bv.zero w)
+  | z, _ when is_zero z -> Const (Bv.zero w)
+  | t, o when is_ones o -> t
+  | o, t when is_ones o -> t
+  | _ when a = b -> a
+  | _ -> Band (a, b)
+
+let bor a b =
+  let w = check_bv_pair "bor" a b in
+  match a, b with
+  | Const x, Const y -> Const (Bv.logor x y)
+  | t, z when is_zero z -> t
+  | z, t when is_zero z -> t
+  | _, o when is_ones o -> Const (Bv.ones w)
+  | o, _ when is_ones o -> Const (Bv.ones w)
+  | _ when a = b -> a
+  | _ -> Bor (a, b)
+
+let bxor a b =
+  let w = check_bv_pair "bxor" a b in
+  match a, b with
+  | Const x, Const y -> Const (Bv.logxor x y)
+  | t, z when is_zero z -> t
+  | z, t when is_zero z -> t
+  | _ when a = b -> Const (Bv.zero w)
+  | _ -> Bxor (a, b)
+
+let shift name fold node a b =
+  let _ = check_bv_pair name a b in
+  match a, b with
+  | Const x, Const y -> Const (fold x y)
+  | t, z when is_zero z -> t
+  | _ -> node a b
+
+let shl a b = shift "shl" Bv.shl (fun a b -> Shl (a, b)) a b
+let lshr a b = shift "lshr" Bv.lshr (fun a b -> Lshr (a, b)) a b
+let ashr a b = shift "ashr" Bv.ashr (fun a b -> Ashr (a, b)) a b
+
+let rec concat a b =
+  let wa = width_of a and wb = width_of b in
+  if wa + wb > 64 then sort_error "concat: combined width %d exceeds 64" (wa + wb);
+  match a, b with
+  | Const x, Const y -> Const (Bv.concat x y)
+  | Extract (h1, l1, x), Extract (h2, l2, y)
+    when x = y && l1 = h2 + 1 ->
+      (* adjacent slices of the same term fuse back together *)
+      extract_node ~hi:h1 ~lo:l2 x
+  | Extract (_h1, l1, x), Concat ((Extract (h2, _l2, y) as e2), rest)
+    when x = y && l1 = h2 + 1 && wa + width_of e2 <= 64 ->
+      concat (concat a e2) rest
+  | _ -> Concat (a, b)
+
+and extract_node ~hi ~lo t =
+  let w = width_of t in
+  if lo = 0 && hi = w - 1 then t
+  else
+    match t with
+    | Const x -> Const (Bv.extract ~hi ~lo x)
+    | _ -> Extract (hi, lo, t)
+
+let concat_l = function
+  | [] -> invalid_arg "Term.concat_l: empty list"
+  | hd :: tl -> List.fold_left concat hd tl
+
+let rec extract ~hi ~lo t =
+  let w = width_of t in
+  if lo < 0 || hi < lo || hi >= w then
+    sort_error "extract: bad range [%d..%d] for width %d" hi lo w;
+  if lo = 0 && hi = w - 1 then t
+  else
+    match t with
+    | Const x -> Const (Bv.extract ~hi ~lo x)
+    | Extract (_, lo', inner) -> extract ~hi:(hi + lo') ~lo:(lo + lo') inner
+    | Concat (a, b) ->
+        let wb = width_of b in
+        if hi < wb then extract ~hi ~lo b
+        else if lo >= wb then extract ~hi:(hi - wb) ~lo:(lo - wb) a
+        else Extract (hi, lo, t)
+    | Lshr (x, Const c) when Int64.unsigned_compare (Bv.value c) 64L < 0 ->
+        (* bits [hi..lo] of (x >> c) are bits [hi+c..lo+c] of x when they
+           exist, zeros otherwise *)
+        let c = Int64.to_int (Bv.value c) in
+        if hi + c < w then extract ~hi:(hi + c) ~lo:(lo + c) x
+        else if lo + c >= w then Const (Bv.zero (hi - lo + 1))
+        else Extract (hi, lo, t)
+    | _ -> Extract (hi, lo, t)
+
+let zero_extend ~by t =
+  if by < 0 then invalid_arg "Term.zero_extend: negative"
+  else if by = 0 then t
+  else
+    let w = width_of t in
+    if w + by > 64 then sort_error "zero_extend past 64 bits"
+    else concat (Const (Bv.zero by)) t
+
+let sign_extend ~by t =
+  if by < 0 then invalid_arg "Term.sign_extend: negative"
+  else if by = 0 then t
+  else
+    let w = width_of t in
+    if w + by > 64 then sort_error "sign_extend past 64 bits"
+    else
+      match t with
+      | Const x -> Const (Bv.sign_extend ~by x)
+      | _ ->
+          let sign = extract ~hi:(w - 1) ~lo:(w - 1) t in
+          let high =
+            ite
+              (eq sign (Const (Bv.one 1)))
+              (Const (Bv.ones by))
+              (Const (Bv.zero by))
+          in
+          concat high t
+
+let resize_unsigned ~width t =
+  let w = width_of t in
+  if width = w then t
+  else if width > w then zero_extend ~by:(width - w) t
+  else extract ~hi:(width - 1) ~lo:0 t
+
+let const_value = function Const bv -> Some bv | _ -> None
+
+let bool_value = function
+  | True -> Some true
+  | False -> Some false
+  | _ -> None
+
+let rec fold_vars f t acc =
+  match t with
+  | True | False | Const _ -> acc
+  | Var v -> f v acc
+  | Not a | Bnot a | Extract (_, _, a) -> fold_vars f a acc
+  | And (a, b) | Or (a, b) | Eq (a, b) | Ult (a, b) | Slt (a, b)
+  | Ule (a, b) | Sle (a, b) | Add (a, b) | Sub (a, b) | Mul (a, b)
+  | Udiv (a, b) | Urem (a, b) | Band (a, b) | Bor (a, b) | Bxor (a, b)
+  | Shl (a, b) | Lshr (a, b) | Ashr (a, b) | Concat (a, b) ->
+      fold_vars f b (fold_vars f a acc)
+  | Ite (c, a, b) -> fold_vars f b (fold_vars f a (fold_vars f c acc))
+
+module Int_set = Set.Make (Int)
+
+let vars t =
+  let tbl = Hashtbl.create 16 in
+  let add v () = if not (Hashtbl.mem tbl v.id) then Hashtbl.add tbl v.id v in
+  fold_vars add t ();
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun a b -> Stdlib.compare a.id b.id)
+
+let var_ids t =
+  fold_vars (fun v acc -> Int_set.add v.id acc) t Int_set.empty
+  |> Int_set.elements
+
+let mentions t v =
+  let exception Found in
+  try
+    fold_vars (fun v' () -> if v'.id = v.id then raise Found) t ();
+    false
+  with Found -> true
+
+let rec size = function
+  | True | False | Const _ | Var _ -> 1
+  | Not a | Bnot a | Extract (_, _, a) -> 1 + size a
+  | And (a, b) | Or (a, b) | Eq (a, b) | Ult (a, b) | Slt (a, b)
+  | Ule (a, b) | Sle (a, b) | Add (a, b) | Sub (a, b) | Mul (a, b)
+  | Udiv (a, b) | Urem (a, b) | Band (a, b) | Bor (a, b) | Bxor (a, b)
+  | Shl (a, b) | Lshr (a, b) | Ashr (a, b) | Concat (a, b) ->
+      1 + size a + size b
+  | Ite (c, a, b) -> 1 + size c + size a + size b
+
+let rec subst f t =
+  match t with
+  | True | False | Const _ -> t
+  | Var v -> (
+      match f v with
+      | None -> t
+      | Some t' ->
+          if not (sort_equal (sort_of t') v.sort) then
+            sort_error "subst: sort mismatch for %s" v.name;
+          t')
+  | Not a -> not_ (subst f a)
+  | And (a, b) -> and_ (subst f a) (subst f b)
+  | Or (a, b) -> or_ (subst f a) (subst f b)
+  | Ite (c, a, b) -> ite (subst f c) (subst f a) (subst f b)
+  | Eq (a, b) -> eq (subst f a) (subst f b)
+  | Ult (a, b) -> ult (subst f a) (subst f b)
+  | Slt (a, b) -> slt (subst f a) (subst f b)
+  | Ule (a, b) -> ule (subst f a) (subst f b)
+  | Sle (a, b) -> sle (subst f a) (subst f b)
+  | Add (a, b) -> add (subst f a) (subst f b)
+  | Sub (a, b) -> sub (subst f a) (subst f b)
+  | Mul (a, b) -> mul (subst f a) (subst f b)
+  | Udiv (a, b) -> udiv (subst f a) (subst f b)
+  | Urem (a, b) -> urem (subst f a) (subst f b)
+  | Bnot a -> bnot (subst f a)
+  | Band (a, b) -> band (subst f a) (subst f b)
+  | Bor (a, b) -> bor (subst f a) (subst f b)
+  | Bxor (a, b) -> bxor (subst f a) (subst f b)
+  | Shl (a, b) -> shl (subst f a) (subst f b)
+  | Lshr (a, b) -> lshr (subst f a) (subst f b)
+  | Ashr (a, b) -> ashr (subst f a) (subst f b)
+  | Concat (a, b) -> concat (subst f a) (subst f b)
+  | Extract (hi, lo, a) -> extract ~hi ~lo (subst f a)
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (t : t) = Hashtbl.hash t
+
+let rec pp fmt t =
+  let bin op a b = Format.fprintf fmt "(%s %a %a)" op pp a pp b in
+  match t with
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Const bv -> Bv.pp fmt bv
+  | Var v -> Format.fprintf fmt "%s#%d" v.name v.id
+  | Not a -> Format.fprintf fmt "(not %a)" pp a
+  | And (a, b) -> bin "and" a b
+  | Or (a, b) -> bin "or" a b
+  | Ite (c, a, b) -> Format.fprintf fmt "(ite %a %a %a)" pp c pp a pp b
+  | Eq (a, b) -> bin "=" a b
+  | Ult (a, b) -> bin "u<" a b
+  | Slt (a, b) -> bin "s<" a b
+  | Ule (a, b) -> bin "u<=" a b
+  | Sle (a, b) -> bin "s<=" a b
+  | Add (a, b) -> bin "+" a b
+  | Sub (a, b) -> bin "-" a b
+  | Mul (a, b) -> bin "*" a b
+  | Udiv (a, b) -> bin "udiv" a b
+  | Urem (a, b) -> bin "urem" a b
+  | Bnot a -> Format.fprintf fmt "(bnot %a)" pp a
+  | Band (a, b) -> bin "&" a b
+  | Bor (a, b) -> bin "|" a b
+  | Bxor (a, b) -> bin "^" a b
+  | Shl (a, b) -> bin "<<" a b
+  | Lshr (a, b) -> bin ">>u" a b
+  | Ashr (a, b) -> bin ">>s" a b
+  | Concat (a, b) -> bin "++" a b
+  | Extract (hi, lo, a) -> Format.fprintf fmt "%a[%d:%d]" pp a hi lo
+
+let to_string t = Format.asprintf "%a" pp t
+
+let alpha_key terms =
+  let table : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let canon v =
+    let id =
+      match Hashtbl.find_opt table v.id with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length table in
+          Hashtbl.replace table v.id id;
+          id
+    in
+    Some (Var { id; name = "c"; sort = v.sort })
+  in
+  String.concat ";" (List.map (fun t -> to_string (subst canon t)) terms)

@@ -1,0 +1,136 @@
+(** Terms of the quantifier-free bitvector + boolean theory.
+
+    Terms are built exclusively through the smart constructors below, which
+    perform constant folding and light algebraic simplification. The
+    resulting ASTs are pure and comparable with structural equality. *)
+
+type sort = Bool | Bitvec of int
+
+type var = private { id : int; name : string; sort : sort }
+
+type t =
+  | True
+  | False
+  | Const of Bv.t
+  | Var of var
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Ite of t * t * t  (** boolean condition; branches of equal sort *)
+  | Eq of t * t
+  | Ult of t * t
+  | Slt of t * t
+  | Ule of t * t
+  | Sle of t * t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Udiv of t * t
+  | Urem of t * t
+  | Bnot of t
+  | Band of t * t
+  | Bor of t * t
+  | Bxor of t * t
+  | Shl of t * t
+  | Lshr of t * t
+  | Ashr of t * t
+  | Concat of t * t  (** first operand is the high bits *)
+  | Extract of int * int * t  (** [Extract (hi, lo, t)], bits inclusive *)
+
+exception Sort_error of string
+
+val sort_equal : sort -> sort -> bool
+val pp_sort : Format.formatter -> sort -> unit
+
+val fresh_var : ?name:string -> sort -> var
+(** Allocate a globally fresh variable. *)
+
+val reset_fresh_counter : unit -> unit
+(** Reset the fresh-variable counter. Only for reproducible experiments and
+    tests that compare printed output; never call while terms are live. *)
+
+val sort_of : t -> sort
+(** Raises {!Sort_error} on ill-sorted terms (cannot happen for terms built
+    with the smart constructors). *)
+
+val width_of : t -> int
+(** Width of a bitvector-sorted term; raises {!Sort_error} for booleans. *)
+
+(** {1 Smart constructors} *)
+
+val tru : t
+val fls : t
+val bool : bool -> t
+val const : Bv.t -> t
+val int : width:int -> int -> t
+val var : var -> t
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val and_l : t list -> t
+val or_l : t list -> t
+val implies : t -> t -> t
+val ite : t -> t -> t -> t
+val eq : t -> t -> t
+val neq : t -> t -> t
+val ult : t -> t -> t
+val slt : t -> t -> t
+val ule : t -> t -> t
+val sle : t -> t -> t
+val ugt : t -> t -> t
+val uge : t -> t -> t
+val sgt : t -> t -> t
+val sge : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val udiv : t -> t -> t
+val urem : t -> t -> t
+val neg : t -> t
+val bnot : t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+val shl : t -> t -> t
+val lshr : t -> t -> t
+val ashr : t -> t -> t
+val concat : t -> t -> t
+val concat_l : t list -> t
+(** [concat_l [hi; ...; lo]]; the list must be non-empty. *)
+
+val extract : hi:int -> lo:int -> t -> t
+val zero_extend : by:int -> t -> t
+val sign_extend : by:int -> t -> t
+val resize_unsigned : width:int -> t -> t
+(** Zero-extend or truncate to the requested width. *)
+
+(** {1 Inspection} *)
+
+val is_const : t -> bool
+val const_value : t -> Bv.t option
+val bool_value : t -> bool option
+
+val fold_vars : (var -> 'a -> 'a) -> t -> 'a -> 'a
+val vars : t -> var list
+(** Distinct variables occurring in the term, in ascending id order. *)
+
+val var_ids : t -> int list
+val mentions : t -> var -> bool
+val size : t -> int
+(** Number of AST nodes. *)
+
+val subst : (var -> t option) -> t -> t
+(** Capture-free substitution of variables; substituted terms must have the
+    variable's sort. *)
+
+val alpha_key : t list -> string
+(** A canonical rendering of the terms with variables renamed to their order
+    of first occurrence: two term lists that differ only in the identity of
+    their (fresh) variables get equal keys. Used to memoize per-path solver
+    work across structurally identical client paths. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,143 @@
+(* The protocol-node DSL.
+
+   Programs model distributed-system nodes: they read local inputs, receive
+   and send messages (fixed-size byte buffers), and branch on their
+   contents. The DSL plays the role that x86 binaries under S2E play in the
+   paper: the symbolic interpreter only needs branching structure, buffer
+   bytes and the accept/reject/send events, all of which the DSL provides.
+
+   Scalars are fixed-width bitvectors. Expressions evaluating to booleans
+   (comparisons, [And]/[Or]/[Not]) may only appear in conditions or other
+   boolean contexts. Buffers are global, fixed-size byte arrays. *)
+
+type unop =
+  | Not (* boolean *)
+  | Bnot (* bitwise *)
+  | Neg
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Udiv
+  | Urem
+  | And (* boolean *)
+  | Or (* boolean *)
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Lshr
+  | Ashr
+  | Eq
+  | Ne
+  | Ult
+  | Ule
+  | Ugt
+  | Uge
+  | Slt
+  | Sle
+  | Sgt
+  | Sge
+
+type expr =
+  | Num of { value : int; width : int }
+  | Var of string
+  | Load of string * expr (* buffer, byte offset; yields an 8-bit value *)
+  | Len of string (* buffer length, as a 32-bit constant *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Cast of int * expr (* zero-extend or truncate to the given width *)
+
+type stmt =
+  | Assign of string * expr
+  | Store of string * expr * expr (* buffer[offset] := value (8-bit) *)
+  | If of expr * block * block
+  | Switch of expr * (int * block) list * block (* scrutinee, cases, default *)
+  | While of expr * block (* unrolled up to the interpreter bound *)
+  | Call of { proc : string; args : expr list; result : string option }
+  | Return of expr option
+  | Receive of string (* fill the buffer with the incoming message *)
+  | Send of { dst : expr; buf : string }
+  | Read_input of string * int (* var := fresh local input of given width *)
+  | Make_symbolic of string * int (* annotation: havoc a scalar *)
+  | Make_buffer_symbolic of string (* annotation: havoc a whole buffer *)
+  | Assume of expr (* annotation: constrain; drop the path if infeasible *)
+  | Drop_path (* annotation: silently abandon this path *)
+  | Mark_accept of string (* annotation: accepting path, with a label *)
+  | Mark_reject of string (* annotation: rejecting path, with a label *)
+  | Halt (* finish the program normally *)
+  | Abort of string (* simulated crash *)
+
+and block = stmt list
+
+type proc = { proc_name : string; params : (string * int) list; body : block }
+
+type program = {
+  prog_name : string;
+  globals : (string * int) list; (* scalar name, width in bits *)
+  buffers : (string * int) list; (* buffer name, length in bytes *)
+  procs : proc list;
+  main : block;
+}
+
+let find_proc program name =
+  List.find_opt (fun p -> p.proc_name = name) program.procs
+
+let buffer_length program name = List.assoc_opt name program.buffers
+
+(* A light well-formedness check: every named buffer/procedure exists and
+   arities match. Width correctness is enforced dynamically by Term's sort
+   checker. *)
+let validate program =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let check_buffer name =
+    if buffer_length program name = None then err "unknown buffer %s" name
+  in
+  let rec expr = function
+    | Num _ | Var _ -> ()
+    | Load (b, e) ->
+        check_buffer b;
+        expr e
+    | Len b -> check_buffer b
+    | Unop (_, e) | Cast (_, e) -> expr e
+    | Binop (_, a, b) ->
+        expr a;
+        expr b
+  and stmt = function
+    | Assign (_, e) | Assume e | Return (Some e) -> expr e
+    | Store (b, off, v) ->
+        check_buffer b;
+        expr off;
+        expr v
+    | If (c, t, f) ->
+        expr c;
+        block t;
+        block f
+    | Switch (e, cases, default) ->
+        expr e;
+        List.iter (fun (_, b) -> block b) cases;
+        block default
+    | While (c, b) ->
+        expr c;
+        block b
+    | Call { proc; args; _ } -> (
+        List.iter expr args;
+        match find_proc program proc with
+        | None -> err "unknown procedure %s" proc
+        | Some p ->
+            if List.length p.params <> List.length args then
+              err "procedure %s expects %d arguments, got %d" proc
+                (List.length p.params) (List.length args))
+    | Send { dst; buf } ->
+        expr dst;
+        check_buffer buf
+    | Receive b | Make_buffer_symbolic b -> check_buffer b
+    | Return None | Read_input _ | Make_symbolic _ | Drop_path | Mark_accept _
+    | Mark_reject _ | Halt | Abort _ ->
+        ()
+  and block b = List.iter stmt b in
+  List.iter (fun p -> block p.body) program.procs;
+  block program.main;
+  (match !errors with [] -> Ok () | es -> Error (List.rev es))

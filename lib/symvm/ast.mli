@@ -1,0 +1,100 @@
+(** The protocol-node DSL.
+
+    Programs model distributed-system nodes: they read local inputs,
+    receive and send fixed-size byte-buffer messages, and branch on their
+    contents. The DSL plays the role x86 binaries under S2E play in the
+    paper: the symbolic interpreter needs only branching structure, buffer
+    bytes and accept/reject/send events, all of which the DSL provides.
+
+    Scalars are fixed-width bitvectors; buffers are global fixed-size byte
+    arrays. Boolean-valued expressions (comparisons, [And]/[Or]/[Not]) may
+    appear in any boolean context; numeric contexts coerce booleans to
+    1-bit vectors and harmonize operand widths by zero-extension (signed
+    operators sign-extend).
+
+    Prefer building programs with {!Builder}, which validates the result. *)
+
+type unop = Not  (** boolean *) | Bnot  (** bitwise *) | Neg
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Udiv
+  | Urem
+  | And  (** boolean *)
+  | Or  (** boolean *)
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Lshr
+  | Ashr
+  | Eq
+  | Ne
+  | Ult
+  | Ule
+  | Ugt
+  | Uge
+  | Slt
+  | Sle
+  | Sgt
+  | Sge
+
+type expr =
+  | Num of { value : int; width : int }
+  | Var of string
+  | Load of string * expr
+      (** [Load (buffer, offset)] reads one byte; symbolic offsets are
+          handled by the interpreters *)
+  | Len of string  (** buffer length, as a 32-bit constant *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Cast of int * expr  (** zero-extend or truncate to the given width *)
+
+type stmt =
+  | Assign of string * expr
+  | Store of string * expr * expr  (** [buffer.(offset) <- value] (8-bit) *)
+  | If of expr * block * block
+  | Switch of expr * (int * block) list * block
+      (** scrutinee, cases, default *)
+  | While of expr * block  (** unrolled up to the interpreter bound *)
+  | Call of { proc : string; args : expr list; result : string option }
+  | Return of expr option
+  | Receive of string  (** fill the buffer with the next incoming message *)
+  | Send of { dst : expr; buf : string }
+  | Read_input of string * int
+      (** bind a fresh local input of the given width (symbolic mode) or
+          the next provided input (concrete mode) *)
+  | Make_symbolic of string * int  (** annotation: havoc a scalar (§5.2) *)
+  | Make_buffer_symbolic of string  (** annotation: havoc a whole buffer *)
+  | Assume of expr
+      (** annotation: constrain; infeasible paths are dropped (§5.2's
+          [drop_path]-with-constraints idiom) *)
+  | Drop_path  (** annotation: silently abandon this path (§5.2) *)
+  | Mark_accept of string  (** annotation: accepting path marker (§5.2) *)
+  | Mark_reject of string  (** annotation: rejecting path marker (§5.2) *)
+  | Halt  (** finish the program normally *)
+  | Abort of string  (** simulated crash *)
+
+and block = stmt list
+
+type proc = { proc_name : string; params : (string * int) list; body : block }
+(** Procedures take fixed-width scalar parameters by value and may return a
+    scalar with [Return]; buffers and globals are shared. *)
+
+type program = {
+  prog_name : string;
+  globals : (string * int) list;  (** scalar name, width in bits *)
+  buffers : (string * int) list;  (** buffer name, length in bytes *)
+  procs : proc list;
+  main : block;
+}
+
+val find_proc : program -> string -> proc option
+val buffer_length : program -> string -> int option
+
+val validate : program -> (unit, string list) result
+(** Check that every referenced buffer and procedure exists and call
+    arities match. Width errors surface dynamically via [Term]'s sort
+    checker. *)

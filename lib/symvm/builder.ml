@@ -1,0 +1,83 @@
+(* Combinators for writing DSL programs concisely. Target models open this
+   module locally:
+
+   {[
+     let open Builder in
+     prog "server"
+       ~buffers:[ ("msg", 8) ]
+       [
+         receive "msg";
+         if_ (load "msg" (i8 0) =: i8 1)
+           [ mark_accept "read" ]
+           [ mark_reject "bad-cmd" ];
+       ]
+   ]} *)
+
+open Ast
+
+let num ~width value = Num { value; width }
+let i8 value = num ~width:8 value
+let i16 value = num ~width:16 value
+let i32 value = num ~width:32 value
+let chr c = i8 (Char.code c)
+let v name = Var name
+let load buf off = Load (buf, off)
+let len buf = Len buf
+let cast width e = Cast (width, e)
+
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Udiv, a, b)
+let ( %: ) a b = Binop (Urem, a, b)
+let ( =: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Ne, a, b)
+let ( <: ) a b = Binop (Ult, a, b)
+let ( <=: ) a b = Binop (Ule, a, b)
+let ( >: ) a b = Binop (Ugt, a, b)
+let ( >=: ) a b = Binop (Uge, a, b)
+let ( <+: ) a b = Binop (Slt, a, b) (* signed comparisons *)
+let ( <=+: ) a b = Binop (Sle, a, b)
+let ( >+: ) a b = Binop (Sgt, a, b)
+let ( >=+: ) a b = Binop (Sge, a, b)
+let ( &&: ) a b = Binop (And, a, b)
+let ( ||: ) a b = Binop (Or, a, b)
+let ( &: ) a b = Binop (Band, a, b)
+let ( |: ) a b = Binop (Bor, a, b)
+let ( ^: ) a b = Binop (Bxor, a, b)
+let ( <<: ) a b = Binop (Shl, a, b)
+let ( >>: ) a b = Binop (Lshr, a, b)
+let not_ e = Unop (Not, e)
+let bnot e = Unop (Bnot, e)
+let neg e = Unop (Neg, e)
+
+let set name e = Assign (name, e)
+let store buf off value = Store (buf, off, value)
+let if_ c t f = If (c, t, f)
+let when_ c t = If (c, t, [])
+let switch e cases ~default = Switch (e, cases, default)
+let while_ c body = While (c, body)
+let call ?result proc args = Call { proc; args; result }
+let return e = Return (Some e)
+let return_unit = Return None
+let receive buf = Receive buf
+let send dst buf = Send { dst; buf }
+let read_input name ~width = Read_input (name, width)
+let make_symbolic name ~width = Make_symbolic (name, width)
+let make_buffer_symbolic buf = Make_buffer_symbolic buf
+let assume e = Assume e
+let drop_path = Drop_path
+let mark_accept label = Mark_accept label
+let mark_reject label = Mark_reject label
+let halt = Halt
+let abort reason = Abort reason
+
+let proc name ~params body = { proc_name = name; params; body }
+
+let prog ?(globals = []) ?(buffers = []) ?(procs = []) name main =
+  let program = { prog_name = name; globals; buffers; procs; main } in
+  match validate program with
+  | Ok () -> program
+  | Error errors ->
+      invalid_arg
+        (Printf.sprintf "Builder.prog %s: %s" name (String.concat "; " errors))

@@ -1,0 +1,98 @@
+(** Combinators for writing DSL programs concisely.
+
+    Target models open this module locally:
+
+    {[
+      let open Builder in
+      prog "server"
+        ~buffers:[ ("msg", 8) ]
+        [
+          receive "msg";
+          if_
+            (load "msg" (i8 0) =: i8 1)
+            [ mark_accept "read" ]
+            [ mark_reject "bad-cmd" ];
+        ]
+    ]}
+
+    Operator conventions: a trailing [:] marks the DSL variant of an OCaml
+    operator ([+:], [=:], [<:], ...); comparisons are unsigned unless they
+    carry a [+] ([<+:] is signed less-than); [&&:]/[||:] are boolean while
+    [&:]/[|:]/[^:] are bitwise. *)
+
+open Ast
+
+val num : width:int -> int -> expr
+val i8 : int -> expr
+val i16 : int -> expr
+val i32 : int -> expr
+val chr : char -> expr
+val v : string -> expr
+(** Variable reference. *)
+
+val load : string -> expr -> expr
+val len : string -> expr
+val cast : int -> expr -> expr
+
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( %: ) : expr -> expr -> expr
+val ( =: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( <+: ) : expr -> expr -> expr
+(** Signed comparisons. *)
+
+val ( <=+: ) : expr -> expr -> expr
+val ( >+: ) : expr -> expr -> expr
+val ( >=+: ) : expr -> expr -> expr
+val ( &&: ) : expr -> expr -> expr
+val ( ||: ) : expr -> expr -> expr
+val ( &: ) : expr -> expr -> expr
+val ( |: ) : expr -> expr -> expr
+val ( ^: ) : expr -> expr -> expr
+val ( <<: ) : expr -> expr -> expr
+val ( >>: ) : expr -> expr -> expr
+val not_ : expr -> expr
+val bnot : expr -> expr
+val neg : expr -> expr
+
+val set : string -> expr -> stmt
+val store : string -> expr -> expr -> stmt
+val if_ : expr -> block -> block -> stmt
+val when_ : expr -> block -> stmt
+(** [when_ c body] is [if_ c body []]. *)
+
+val switch : expr -> (int * block) list -> default:block -> stmt
+val while_ : expr -> block -> stmt
+val call : ?result:string -> string -> expr list -> stmt
+val return : expr -> stmt
+val return_unit : stmt
+val receive : string -> stmt
+val send : expr -> string -> stmt
+val read_input : string -> width:int -> stmt
+val make_symbolic : string -> width:int -> stmt
+val make_buffer_symbolic : string -> stmt
+val assume : expr -> stmt
+val drop_path : stmt
+val mark_accept : string -> stmt
+val mark_reject : string -> stmt
+val halt : stmt
+val abort : string -> stmt
+
+val proc : string -> params:(string * int) list -> block -> proc
+
+val prog :
+  ?globals:(string * int) list ->
+  ?buffers:(string * int) list ->
+  ?procs:proc list ->
+  string ->
+  block ->
+  program
+(** Build and {!Ast.validate} a program; raises [Invalid_argument] listing
+    the problems on failure. *)

@@ -1,0 +1,283 @@
+open Achilles_smt
+
+type outcome = {
+  status : State.status;
+  sent : (Bv.t * Bv.t array) list;
+  globals : (string * Bv.t) list;
+  buffers : (string * Bv.t array) list;
+  steps : int;
+}
+
+type value = Vbool of bool | Vbv of Bv.t
+
+exception Terminated of State.status
+exception Runtime_error of string
+
+let runtime_error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type env = {
+  program : Ast.program;
+  globals : (string, Bv.t) Hashtbl.t;
+  buffers : (string, Bv.t array) Hashtbl.t;
+  mutable inputs : Bv.t list;
+  mutable incoming : Bv.t array list;
+  mutable sent : (Bv.t * Bv.t array) list; (* newest first *)
+  mutable steps : int;
+  max_steps : int;
+}
+
+let tick env =
+  env.steps <- env.steps + 1;
+  if env.steps > env.max_steps then raise (Terminated (State.Crashed "step limit"))
+
+let as_bool = function
+  | Vbool b -> b
+  | Vbv bv -> not (Bv.equal bv (Bv.zero (Bv.width bv)))
+
+let as_bv = function
+  | Vbv bv -> bv
+  | Vbool b -> Bv.of_int ~width:1 (if b then 1 else 0)
+
+let harmonize ~signed a b =
+  let a = as_bv a and b = as_bv b in
+  let wa = Bv.width a and wb = Bv.width b in
+  if wa = wb then (a, b)
+  else
+    let extend ~by v =
+      if signed then Bv.sign_extend ~by v else Bv.zero_extend ~by v
+    in
+    if wa < wb then (extend ~by:(wb - wa) a, b) else (a, extend ~by:(wa - wb) b)
+
+let resize ~width v =
+  let w = Bv.width v in
+  if width = w then v
+  else if width > w then Bv.zero_extend ~by:(width - w) v
+  else Bv.extract ~hi:(width - 1) ~lo:0 v
+
+let get_buffer env name =
+  match Hashtbl.find_opt env.buffers name with
+  | Some b -> b
+  | None -> runtime_error "unknown buffer %s" name
+
+type frame = (string, Bv.t) Hashtbl.t
+
+let lookup env (frame : frame) name =
+  match Hashtbl.find_opt frame name with
+  | Some v -> Some v
+  | None -> Hashtbl.find_opt env.globals name
+
+let assign env (frame : frame) name v =
+  if Hashtbl.mem env.globals name then Hashtbl.replace env.globals name v
+  else Hashtbl.replace frame name v
+
+let next_input env width =
+  match env.inputs with
+  | v :: rest ->
+      env.inputs <- rest;
+      resize ~width v
+  | [] -> Bv.zero width
+
+let rec eval env frame (e : Ast.expr) : value =
+  match e with
+  | Num { value; width } -> Vbv (Bv.of_int ~width value)
+  | Var name -> (
+      match lookup env frame name with
+      | Some v -> Vbv v
+      | None -> runtime_error "unbound variable %s" name)
+  | Load (buf, off) ->
+      let buffer = get_buffer env buf in
+      let i = Bv.to_int (as_bv (eval env frame off)) in
+      if i < 0 || i >= Array.length buffer then
+        runtime_error "out-of-bounds read %s[%d]" buf i
+      else Vbv buffer.(i)
+  | Len buf -> Vbv (Bv.of_int ~width:32 (Array.length (get_buffer env buf)))
+  | Unop (op, a) -> (
+      let v = eval env frame a in
+      match op with
+      | Ast.Not -> Vbool (not (as_bool v))
+      | Ast.Bnot -> Vbv (Bv.lognot (as_bv v))
+      | Ast.Neg -> Vbv (Bv.neg (as_bv v)))
+  | Binop (op, a, b) -> (
+      let va = eval env frame a and vb = eval env frame b in
+      let u f = let x, y = harmonize ~signed:false va vb in Vbv (f x y) in
+      let ub f = let x, y = harmonize ~signed:false va vb in Vbool (f x y) in
+      let sb f = let x, y = harmonize ~signed:true va vb in Vbool (f x y) in
+      match op with
+      | Ast.Add -> u Bv.add
+      | Ast.Sub -> u Bv.sub
+      | Ast.Mul -> u Bv.mul
+      | Ast.Udiv -> u Bv.udiv
+      | Ast.Urem -> u Bv.urem
+      | Ast.And -> Vbool (as_bool va && as_bool vb)
+      | Ast.Or -> Vbool (as_bool va || as_bool vb)
+      | Ast.Band -> u Bv.logand
+      | Ast.Bor -> u Bv.logor
+      | Ast.Bxor -> u Bv.logxor
+      | Ast.Shl -> u Bv.shl
+      | Ast.Lshr -> u Bv.lshr
+      | Ast.Ashr ->
+          let x, y = harmonize ~signed:true va vb in
+          Vbv (Bv.ashr x y)
+      | Ast.Eq -> ub Bv.equal
+      | Ast.Ne -> ub (fun x y -> not (Bv.equal x y))
+      | Ast.Ult -> ub Bv.ult
+      | Ast.Ule -> ub Bv.ule
+      | Ast.Ugt -> ub (fun x y -> Bv.ult y x)
+      | Ast.Uge -> ub (fun x y -> Bv.ule y x)
+      | Ast.Slt -> sb Bv.slt
+      | Ast.Sle -> sb Bv.sle
+      | Ast.Sgt -> sb (fun x y -> Bv.slt y x)
+      | Ast.Sge -> sb (fun x y -> Bv.sle y x))
+  | Cast (width, a) -> Vbv (resize ~width (as_bv (eval env frame a)))
+
+let rec exec_block env frame block : Bv.t option option =
+  (* [None]: fell through; [Some r]: returned with optional value *)
+  match block with
+  | [] -> None
+  | stmt :: rest -> (
+      match exec_stmt env frame stmt with
+      | None -> exec_block env frame rest
+      | Some _ as returned -> returned)
+
+and exec_stmt env frame (stmt : Ast.stmt) : Bv.t option option =
+  tick env;
+  match stmt with
+  | Assign (name, e) ->
+      assign env frame name (as_bv (eval env frame e));
+      None
+  | Store (buf, off, value) ->
+      let buffer = get_buffer env buf in
+      let i = Bv.to_int (as_bv (eval env frame off)) in
+      if i < 0 || i >= Array.length buffer then
+        runtime_error "out-of-bounds write %s[%d]" buf i;
+      buffer.(i) <- resize ~width:8 (as_bv (eval env frame value));
+      None
+  | If (c, tb, fb) ->
+      if as_bool (eval env frame c) then exec_block env frame tb
+      else exec_block env frame fb
+  | Switch (e, cases, default) -> (
+      let v = as_bv (eval env frame e) in
+      let w = Bv.width v in
+      match
+        List.find_opt (fun (k, _) -> Bv.equal v (Bv.of_int ~width:w k)) cases
+      with
+      | Some (_, blk) -> exec_block env frame blk
+      | None -> exec_block env frame default)
+  | While (c, body) ->
+      let rec loop () =
+        tick env;
+        if as_bool (eval env frame c) then
+          match exec_block env frame body with
+          | None -> loop ()
+          | Some _ as returned -> returned
+        else None
+      in
+      loop ()
+  | Call { proc; args; result } -> (
+      match Ast.find_proc env.program proc with
+      | None -> runtime_error "unknown procedure %s" proc
+      | Some p ->
+          let callee : frame = Hashtbl.create 8 in
+          List.iter2
+            (fun (param, width) arg ->
+              Hashtbl.replace callee param
+                (resize ~width (as_bv (eval env frame arg))))
+            p.Ast.params args;
+          let returned = exec_block env callee p.Ast.body in
+          (match result, returned with
+          | None, _ -> ()
+          | Some var, Some (Some v) -> assign env frame var v
+          | Some _, (None | Some None) ->
+              runtime_error "procedure %s returned no value" proc);
+          None)
+  | Return e -> Some (Option.map (fun e -> as_bv (eval env frame e)) e)
+  | Receive buf -> (
+      let buffer = get_buffer env buf in
+      match env.incoming with
+      | msg :: rest ->
+          if Array.length msg <> Array.length buffer then
+            runtime_error "receive: message size mismatch for %s" buf;
+          env.incoming <- rest;
+          Hashtbl.replace env.buffers buf (Array.copy msg);
+          None
+      | [] -> raise (Terminated State.Finished))
+  | Send { dst; buf } ->
+      let dst = as_bv (eval env frame dst) in
+      env.sent <- (dst, Array.copy (get_buffer env buf)) :: env.sent;
+      None
+  | Read_input (name, width) | Make_symbolic (name, width) ->
+      assign env frame name (next_input env width);
+      None
+  | Make_buffer_symbolic buf ->
+      let buffer = get_buffer env buf in
+      Hashtbl.replace env.buffers buf
+        (Array.map (fun _ -> next_input env 8) buffer);
+      None
+  | Assume e ->
+      if as_bool (eval env frame e) then None
+      else raise (Terminated State.Dropped)
+  | Drop_path -> raise (Terminated State.Dropped)
+  | Mark_accept label -> raise (Terminated (State.Accepted label))
+  | Mark_reject label -> raise (Terminated (State.Rejected label))
+  | Halt -> raise (Terminated State.Finished)
+  | Abort reason -> raise (Terminated (State.Crashed reason))
+
+let run ?(max_steps = 1_000_000) ?(inputs = []) ?(incoming = [])
+    ?(initial_globals = []) ?(initial_buffers = []) program =
+  let env =
+    {
+      program;
+      globals = Hashtbl.create 16;
+      buffers = Hashtbl.create 8;
+      inputs;
+      incoming;
+      sent = [];
+      steps = 0;
+      max_steps;
+    }
+  in
+  List.iter
+    (fun (name, width) -> Hashtbl.replace env.globals name (Bv.zero width))
+    program.Ast.globals;
+  List.iter
+    (fun (name, v) ->
+      if not (Hashtbl.mem env.globals name) then
+        invalid_arg (Printf.sprintf "Concrete.run: %s is not a global" name);
+      Hashtbl.replace env.globals name v)
+    initial_globals;
+  List.iter
+    (fun (name, size) ->
+      Hashtbl.replace env.buffers name (Array.make size (Bv.zero 8)))
+    program.Ast.buffers;
+  List.iter
+    (fun (name, contents) ->
+      match Hashtbl.find_opt env.buffers name with
+      | Some b when Array.length b = Array.length contents ->
+          Hashtbl.replace env.buffers name (Array.copy contents)
+      | Some _ -> invalid_arg "Concrete.run: initial buffer size mismatch"
+      | None -> invalid_arg (Printf.sprintf "Concrete.run: no buffer %s" name))
+    initial_buffers;
+  let status =
+    try
+      let frame : frame = Hashtbl.create 16 in
+      (match exec_block env frame program.Ast.main with
+      | None | Some _ -> ());
+      State.Finished
+    with
+    | Terminated status -> status
+    | Runtime_error msg -> State.Crashed msg
+  in
+  {
+    status;
+    sent = List.rev env.sent;
+    globals =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.globals []
+      |> List.sort compare;
+    buffers =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.buffers []
+      |> List.sort compare;
+    steps = env.steps;
+  }
+
+let accepted outcome =
+  match outcome.status with State.Accepted _ -> true | _ -> false

@@ -1,0 +1,32 @@
+(** Concrete interpreter for the protocol DSL.
+
+    Runs a program on concrete values: [Read_input] / [Make_symbolic]
+    consume the provided input list (zero once exhausted), [Receive]
+    consumes the incoming message queue and terminates the path when the
+    queue is empty (the node is back at its event loop), [Send] appends to
+    the outbox. Used by the black-box fuzzing baseline, by fault injection,
+    and to validate Trojan witnesses produced by the symbolic analysis. *)
+
+open Achilles_smt
+
+type outcome = {
+  status : State.status;
+  sent : (Bv.t * Bv.t array) list; (* (destination, payload), send order *)
+  globals : (string * Bv.t) list; (* final values of program globals *)
+  buffers : (string * Bv.t array) list; (* final buffer contents *)
+  steps : int;
+}
+
+val run :
+  ?max_steps:int ->
+  ?inputs:Bv.t list ->
+  ?incoming:Bv.t array list ->
+  ?initial_globals:(string * Bv.t) list ->
+  ?initial_buffers:(string * Bv.t array) list ->
+  Ast.program ->
+  outcome
+(** Raises nothing: runtime errors (out-of-bounds accesses, unbound names,
+    exhausted step budget) yield a [Crashed] status. *)
+
+val accepted : outcome -> bool
+(** Did the run end on a [Mark_accept]? *)

@@ -1,0 +1,92 @@
+open Achilles_smt
+
+type field = { field_name : string; offset : int; size : int }
+
+type t = { name : string; fields : field list; total : int }
+
+let make ~name specs =
+  let seen = Hashtbl.create 8 in
+  let fields, total =
+    List.fold_left
+      (fun (fields, offset) (field_name, size) ->
+        if size <= 0 then
+          invalid_arg
+            (Printf.sprintf "Layout.make: field %s has size %d" field_name size);
+        if Hashtbl.mem seen field_name then
+          invalid_arg
+            (Printf.sprintf "Layout.make: duplicate field %s" field_name);
+        Hashtbl.add seen field_name ();
+        ({ field_name; offset; size } :: fields, offset + size))
+      ([], 0) specs
+  in
+  { name; fields = List.rev fields; total }
+
+let name t = t.name
+let total_size t = t.total
+let fields t = t.fields
+let field_opt t n = List.find_opt (fun f -> f.field_name = n) t.fields
+
+let field t n =
+  match field_opt t n with Some f -> f | None -> raise Not_found
+
+let field_covering t offset =
+  List.find_opt
+    (fun f -> offset >= f.offset && offset < f.offset + f.size)
+    t.fields
+
+let field_bytes t bytes n =
+  let f = field t n in
+  Array.sub bytes f.offset f.size
+
+let field_term t byte_terms n =
+  let f = field t n in
+  (* big-endian: the byte at the lowest offset is the most significant *)
+  let parts =
+    List.init f.size (fun i -> byte_terms.(f.offset + i))
+  in
+  Term.concat_l parts
+
+let field_value t bytes n =
+  let f = field t n in
+  let rec go acc i =
+    if i = f.size then acc
+    else go (Bv.concat acc bytes.(f.offset + i)) (i + 1)
+  in
+  go bytes.(f.offset) 1
+
+let field_expr t n ~buf =
+  let f = field t n in
+  let byte i = Ast.Load (buf, Ast.Num { value = f.offset + i; width = 32 }) in
+  (* big-endian accumulation: acc' = (acc << 8) | next_byte, widened as we go *)
+  let rec go acc i =
+    if i = f.size then acc
+    else
+      let width = 8 * (i + 1) in
+      let widened = Ast.Cast (width, acc) in
+      let shifted = Ast.Binop (Ast.Shl, widened, Ast.Num { value = 8; width }) in
+      go (Ast.Binop (Ast.Bor, shifted, Ast.Cast (width, byte i))) (i + 1)
+  in
+  go (byte 0) 1
+
+let store_field t n ~buf ~value =
+  let f = field t n in
+  (* big-endian: byte at offset gets the most significant bits *)
+  List.init f.size (fun i ->
+      let shift = 8 * (f.size - 1 - i) in
+      let byte =
+        Ast.Cast
+          ( 8,
+            Ast.Binop
+              (Ast.Lshr, value, Ast.Num { value = shift; width = 8 * f.size })
+          )
+      in
+      Ast.Store (buf, Ast.Num { value = f.offset + i; width = 32 }, byte))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>layout %s (%d bytes)@," t.name t.total;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "  %-16s offset %2d size %d@," f.field_name f.offset
+        f.size)
+    t.fields;
+  Format.fprintf fmt "@]"

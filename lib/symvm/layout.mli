@@ -1,0 +1,44 @@
+(** Message field layouts.
+
+    A layout names the contiguous byte ranges of a fixed-size message
+    buffer, e.g. FSP's [cmd]/[sum]/[bb_key]/... headers. Achilles' negate
+    operator, differentFrom matrix and field masks are all per-field, so the
+    layout is how the analysis knows the structure of the wire format.
+    Multi-byte fields are big-endian (network byte order). *)
+
+type field = { field_name : string; offset : int; size : int (* bytes *) }
+
+type t
+
+val make : name:string -> (string * int) list -> t
+(** [make ~name fields] lays the fields out contiguously in order; each pair
+    is (field name, size in bytes). Raises [Invalid_argument] on duplicate
+    names or non-positive sizes. *)
+
+val name : t -> string
+val total_size : t -> int
+val fields : t -> field list
+val field : t -> string -> field
+(** Raises [Not_found]. *)
+
+val field_opt : t -> string -> field option
+val field_covering : t -> int -> field option
+(** The field containing the given byte offset. *)
+
+val field_term : t -> Achilles_smt.Term.t array -> string -> Achilles_smt.Term.t
+(** Read a field out of an array of byte terms as one big-endian value. *)
+
+val field_bytes : t -> 'a array -> string -> 'a array
+(** The slice of a byte array covered by a field. *)
+
+val field_value : t -> Achilles_smt.Bv.t array -> string -> Achilles_smt.Bv.t
+(** Read a field out of concrete message bytes. *)
+
+val field_expr : t -> string -> buf:string -> Ast.expr
+(** DSL expression reading a field from a buffer (big-endian). *)
+
+val store_field : t -> string -> buf:string -> value:Ast.expr -> Ast.stmt list
+(** DSL statements writing a field into a buffer, big-endian; the value
+    expression must have width [8 * size]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,121 @@
+open Ast
+
+let unop_symbol = function Not -> "!" | Bnot -> "~" | Neg -> "-"
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Udiv -> "/"
+  | Urem -> "%"
+  | And -> "&&"
+  | Or -> "||"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Lshr -> ">>"
+  | Ashr -> ">>s"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Ult -> "<"
+  | Ule -> "<="
+  | Ugt -> ">"
+  | Uge -> ">="
+  | Slt -> "<s"
+  | Sle -> "<=s"
+  | Sgt -> ">s"
+  | Sge -> ">=s"
+
+let rec pp_expr fmt = function
+  | Num { value; width } ->
+      if width = 8 && value >= 32 && value < 127 then
+        Format.fprintf fmt "'%c'" (Char.chr value)
+      else Format.fprintf fmt "%d" value
+  | Var name -> Format.pp_print_string fmt name
+  | Load (buf, off) -> Format.fprintf fmt "%s[%a]" buf pp_expr off
+  | Len buf -> Format.fprintf fmt "sizeof(%s)" buf
+  | Unop (op, e) -> Format.fprintf fmt "%s%a" (unop_symbol op) pp_atom e
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "%a %s %a" pp_atom a (binop_symbol op) pp_atom b
+  | Cast (width, e) -> Format.fprintf fmt "(u%d)%a" width pp_atom e
+
+and pp_atom fmt e =
+  match e with
+  | Num _ | Var _ | Load _ | Len _ -> pp_expr fmt e
+  | Unop _ | Binop _ | Cast _ -> Format.fprintf fmt "(%a)" pp_expr e
+
+let rec pp_stmt fmt = function
+  | Assign (name, e) -> Format.fprintf fmt "%s = %a;" name pp_expr e
+  | Store (buf, off, v) ->
+      Format.fprintf fmt "%s[%a] = %a;" buf pp_expr off pp_expr v
+  | If (c, t, []) ->
+      Format.fprintf fmt "@[<v 2>if (%a) {%a@]@,}" pp_expr c pp_body t
+  | If (c, [], f) ->
+      Format.fprintf fmt "@[<v 2>if (!(%a)) {%a@]@,}" pp_expr c pp_body f
+  | If (c, t, f) ->
+      Format.fprintf fmt "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}"
+        pp_expr c pp_body t pp_body f
+  | Switch (e, cases, default) ->
+      Format.fprintf fmt "@[<v 2>switch (%a) {" pp_expr e;
+      List.iter
+        (fun (k, blk) ->
+          Format.fprintf fmt "@,@[<v 2>case %d:%a@]" k pp_body blk)
+        cases;
+      Format.fprintf fmt "@,@[<v 2>default:%a@]@]@,}" pp_body default
+  | While (c, body) ->
+      Format.fprintf fmt "@[<v 2>while (%a) {%a@]@,}" pp_expr c pp_body body
+  | Call { proc; args; result } ->
+      (match result with
+      | Some r -> Format.fprintf fmt "%s = " r
+      | None -> ());
+      Format.fprintf fmt "%s(%a);" proc
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_expr)
+        args
+  | Return None -> Format.pp_print_string fmt "return;"
+  | Return (Some e) -> Format.fprintf fmt "return %a;" pp_expr e
+  | Receive buf -> Format.fprintf fmt "%s = receive();" buf
+  | Send { dst; buf } -> Format.fprintf fmt "send(%a, %s);" pp_expr dst buf
+  | Read_input (name, width) ->
+      Format.fprintf fmt "%s = read_input();  /* u%d */" name width
+  | Make_symbolic (name, width) ->
+      Format.fprintf fmt "%s = make_symbolic();  /* u%d */" name width
+  | Make_buffer_symbolic buf ->
+      Format.fprintf fmt "make_buffer_symbolic(%s);" buf
+  | Assume e -> Format.fprintf fmt "assume(%a);" pp_expr e
+  | Drop_path -> Format.pp_print_string fmt "drop_path();"
+  | Mark_accept label -> Format.fprintf fmt "mark_accept(%S);" label
+  | Mark_reject label -> Format.fprintf fmt "mark_reject(%S);" label
+  | Halt -> Format.pp_print_string fmt "halt();"
+  | Abort reason -> Format.fprintf fmt "abort(%S);" reason
+
+and pp_body fmt block =
+  List.iter (fun s -> Format.fprintf fmt "@,%a" pp_stmt s) block
+
+let pp_block fmt block =
+  Format.fprintf fmt "@[<v>";
+  Format.pp_print_list pp_stmt fmt block;
+  Format.fprintf fmt "@]"
+
+let pp_program fmt (p : program) =
+  Format.fprintf fmt "@[<v>// program %s@," p.prog_name;
+  List.iter
+    (fun (name, width) -> Format.fprintf fmt "global u%d %s;@," width name)
+    p.globals;
+  List.iter
+    (fun (name, size) -> Format.fprintf fmt "buffer %s[%d];@," name size)
+    p.buffers;
+  List.iter
+    (fun proc ->
+      Format.fprintf fmt "@,@[<v 2>proc %s(%s) {%a@]@,}@," proc.proc_name
+        (String.concat ", "
+           (List.map
+              (fun (p, w) -> Printf.sprintf "u%d %s" w p)
+              proc.params))
+        pp_body proc.body)
+    p.procs;
+  Format.fprintf fmt "@,@[<v 2>main {%a@]@,}@]" pp_body p.main
+
+let program_to_string p = Format.asprintf "%a" pp_program p

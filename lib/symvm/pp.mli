@@ -1,0 +1,9 @@
+(** Pretty-printing of DSL programs as pseudo-C, for inspection and for the
+    CLI's [show] command. The output is stable (used in golden tests) but
+    not parsed back. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_block : Format.formatter -> Ast.block -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string

@@ -1,0 +1,80 @@
+(** Model of the File Service Protocol (FSP) as analyzed in §6.1-§6.3.
+
+    Message format (as in the paper): cmd(1) sum(1) bb_key(2) bb_seq(2)
+    bb_len(2) bb_pos(4) buf(5). The sum/key/seq/pos checks are approximated
+    with constants on both sides (the paper's annotation bypass), file
+    paths are bounded below 5 characters so symbolic execution completes
+    (§6.2), and the analysis masks to cmd/bb_len/buf.
+
+    Both §6.3 bugs are present:
+    - {b mismatched lengths}: the server accepts a NUL before the reported
+      [bb_len] — the 80 ground-truth Trojan types of §6.2 (8 commands x
+      (1+2+3+4) (reported, true) length combinations);
+    - {b the wildcard}: '*' is printable so the server takes it, while
+      wildcard-aware clients ([model_globbing:true]) can never transmit one
+      in a globbed argument. *)
+
+open Achilles_smt
+open Achilles_symvm
+
+val max_path : int
+val buf_size : int
+val message_size : int
+val sum_const : int
+val key_const : int
+val seq_const : int
+val pos_const : int
+val printable_min : int
+val printable_max : int
+val wildcard : int
+
+type command = {
+  cmd_name : string;
+  code : int;
+  globs_argument : bool;
+      (** does the client expand wildcards in this argument before
+          sending? *)
+}
+
+val commands : command list
+(** The eight single-path-argument utilities of §6.2. *)
+
+val command_of_code : int -> command option
+
+val extended_commands : int -> command list
+(** The real utilities plus synthetic ones, for stress experiments (the
+    §6.4 ablation at a scale where differencing costs dominate). *)
+
+val layout : Layout.t
+val analysis_mask : string list
+val buf_offset : int
+
+val client : ?model_globbing:bool -> command -> Ast.program
+val clients : ?model_globbing:bool -> ?command_set:command list -> unit -> Ast.program list
+val server_for : command list -> Ast.program
+val server : Ast.program
+
+(** {1 Ground truth (§6.2)} *)
+
+type trojan_class = { class_cmd : int; reported_len : int; true_len : int }
+
+val all_trojan_classes : trojan_class list
+(** Exactly the 80 types. *)
+
+type verdict = Rejected | Valid of trojan_class | Trojan of trojan_class
+
+val classify : Bv.t array -> verdict
+(** The experiments' oracle: a plain-OCaml re-implementation of the
+    server's acceptance logic plus the length-mismatch Trojan test. *)
+
+val contains_wildcard : Bv.t array -> bool
+val classify_with_globbing : Bv.t array -> verdict
+(** Like {!classify}, but accepted messages carrying '*' in the effective
+    path are Trojan too (for wildcard-aware client sets). *)
+
+val block_class : Bv.t array -> Term.var array -> Term.t
+(** Blocking-constraint generator for witness enumeration: excludes the
+    whole (cmd, reported length, true length) class of the witness. *)
+
+val class_of_witness : Bv.t array -> trojan_class option
+val pp_class : Format.formatter -> trojan_class -> unit

@@ -1,0 +1,136 @@
+(* The paper's opening example (§1), modeled: Amazon S3's 2008 outage was
+   caused by gossip messages whose "system state information was incorrect"
+   — a single corrupted bit made servers exchange failure reports that no
+   correct node could have produced, and the receivers merged them anyway.
+
+   Here, reporter nodes observe failure events and gossip their failure
+   count to an aggregator. The aggregator checks the message framing but
+   never asks whether the reported count is plausible; it merges whatever
+   arrives and switches the system into emergency mode when the merged
+   count crosses a threshold.
+
+   §3.4's Concrete Local State mode is what finds the Trojan: in a
+   deployment that has seen exactly [k] failures, every correct reporter's
+   counter equals [k], so a report with any other count is a Trojan for
+   that scenario — "no correct client node can report high failure rates,
+   yet the servers accept such messages".
+
+   Message: mtype(1: 1=failure-event, 2=report) reporter(1) count(1)
+   epoch(2). *)
+
+open Achilles_symvm
+
+let msg_failure_event = 1
+let msg_report = 2
+let cluster_size = 16
+let n_reporters = 4
+let current_epoch = 7
+let emergency_threshold = 8
+let message_size = 5
+
+let layout =
+  Layout.make ~name:"gossip"
+    [ ("mtype", 1); ("reporter", 1); ("count", 1); ("epoch", 2) ]
+
+let analysis_mask = [ "mtype"; "reporter"; "count"; "epoch" ]
+
+(* The deployment prefix: a reporter consuming the failure events it has
+   observed so far. Run concretely (Local_state.concrete), it leaves the
+   observation counter in the reporter's local state. *)
+let reporter_prefix =
+  let open Builder in
+  prog "gossip-reporter-prefix"
+    ~globals:[ ("observed_failures", 8) ]
+    ~buffers:[ ("event", message_size) ]
+    [
+      while_ (i8 1)
+        [
+          receive "event";
+          when_
+            (load "event" (i8 0) =: i8 msg_failure_event)
+            [ set "observed_failures" (v "observed_failures" +: i8 1) ];
+        ];
+    ]
+
+let failure_event =
+  let open Achilles_smt in
+  let bytes = Array.make message_size (Bv.zero 8) in
+  bytes.(0) <- Bv.of_int ~width:8 msg_failure_event;
+  bytes
+
+(* The reporter (client side of the analyzed exchange): gossips its current
+   counter. The counter is local state — under Concrete Local State it is a
+   concrete value, making the count field a constant the negate operator
+   can work with (§3.2, case 1). *)
+let reporter =
+  let open Builder in
+  let set_field name value = Layout.store_field layout name ~buf:"report" ~value in
+  prog "gossip-reporter"
+    ~globals:[ ("observed_failures", 8) ]
+    ~buffers:[ ("report", message_size) ]
+    (List.concat
+       [
+         [
+           make_symbolic "me" ~width:8;
+           assume (v "me" <: i8 n_reporters);
+         ];
+         set_field "mtype" (i8 msg_report);
+         set_field "reporter" (cast 8 (v "me"));
+         set_field "count" (v "observed_failures");
+         set_field "epoch" (i16 current_epoch);
+         [ send (i8 0) "report"; halt ];
+       ])
+
+(* The aggregator: framing checks only — the count's plausibility is never
+   questioned. Emergency mode trips on the merged count. *)
+let aggregator ?(hardened = false) () =
+  let open Builder in
+  let field name = Layout.field_expr layout name ~buf:"msg" in
+  prog (if hardened then "gossip-aggregator-hardened" else "gossip-aggregator")
+    ~globals:[ ("merged_count", 8); ("emergency", 8) ]
+    ~buffers:[ ("msg", message_size); ("ack", 1) ]
+    (List.concat
+       [
+         [
+           receive "msg";
+           when_ (field "mtype" <>: i8 msg_report) [ mark_reject "bad-type" ];
+           when_
+             (field "reporter" >=: i8 n_reporters)
+             [ mark_reject "unknown-reporter" ];
+           when_
+             (field "epoch" <>: i16 current_epoch)
+             [ mark_reject "stale-epoch" ];
+         ];
+         (if hardened then
+            [
+              (* the post-mortem fix: "log any such messages and then
+                 reject them" — counts beyond the cluster size are
+                 impossible *)
+              when_
+                (field "count" >: i8 cluster_size)
+                [ mark_reject "implausible-count" ];
+            ]
+          else []);
+         [
+           set "merged_count" (field "count");
+           when_
+             (v "merged_count" >=: i8 emergency_threshold)
+             [ set "emergency" (i8 1) ];
+           send (field "reporter") "ack";
+           mark_accept "merged";
+         ];
+       ])
+
+open Achilles_smt
+
+(* Ground truth for the concrete scenario: [observed] failures seen by every
+   correct reporter. *)
+let is_trojan ?(hardened = false) ~observed bytes =
+  let fv name = Layout.field_value layout bytes name in
+  let accepted =
+    Bv.to_int (fv "mtype") = msg_report
+    && Bv.to_int (fv "reporter") < n_reporters
+    && Bv.to_int (fv "epoch") = current_epoch
+    && ((not hardened) || Bv.to_int (fv "count") <= cluster_size)
+  in
+  accepted && Bv.to_int (fv "count") <> observed

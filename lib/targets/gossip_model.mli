@@ -1,0 +1,45 @@
+(** The paper's opening example (§1), modeled: gossip messages carrying
+    failure counts that "the system state information was incorrect" — the
+    Amazon S3 2008 outage. Reporter nodes observe failure events and gossip
+    their count to an aggregator that checks framing but never asks whether
+    the count is plausible.
+
+    §3.4's Concrete Local State mode finds the Trojan: in a deployment that
+    has seen exactly [k] failures, every correct reporter's counter is [k],
+    so any report with a different count is Trojan {e for that scenario} —
+    the paper's "the message was Trojan in the concrete scenario in which
+    it occurred".
+
+    Message: mtype(1: 1=failure-event, 2=report) reporter(1) count(1)
+    epoch(2). *)
+
+open Achilles_smt
+open Achilles_symvm
+
+val msg_failure_event : int
+val msg_report : int
+val cluster_size : int
+val n_reporters : int
+val current_epoch : int
+val emergency_threshold : int
+val message_size : int
+val layout : Layout.t
+val analysis_mask : string list
+
+val reporter_prefix : Ast.program
+(** Consumes the deployment's failure-event trace; run concretely under
+    {!Achilles_core.Local_state.concrete} it leaves the observation counter
+    in the reporter's state. *)
+
+val failure_event : Bv.t array
+(** One concrete failure-event message for the prefix's queue. *)
+
+val reporter : Ast.program
+(** Gossips its current counter — a concrete constant under Concrete Local
+    State, which is what makes the negate operator (§3.2 case 1) bite. *)
+
+val aggregator : ?hardened:bool -> unit -> Ast.program
+(** The receiver. [hardened:true] adds the post-mortem fix: counts beyond
+    the cluster size are logged and rejected. *)
+
+val is_trojan : ?hardened:bool -> observed:int -> Bv.t array -> bool

@@ -1,0 +1,121 @@
+(* An HTTP-style key-value store exercising §5.1's automatic accept/reject
+   classification: the server carries NO accept/reject markers at all —
+   every request gets a reply whose status byte says 2xx or 4xx, and the
+   analysis classifies paths from that status (the "4xx status codes in
+   HTTP" extension the paper mentions).
+
+   Request:  method(1: 1=GET, 2=PUT)  key(2)  value(2)  token(2)
+   Reply:    status(1: 2=2xx, 4=4xx)  body(2)
+
+   Two planted Trojan families:
+   - the server never validates the [token] authenticator, while correct
+     clients always send the deployment secret;
+   - the server serves any key below [server_key_space]; clients are
+     configured with a smaller namespace [client_key_space], so keys in
+     between are accepted-but-never-sent. *)
+
+open Achilles_symvm
+
+let method_get = 1
+let method_put = 2
+let secret_token = 0xBEEF
+let client_key_space = 100 (* clients only use keys below this *)
+let server_key_space = 200 (* the server serves keys below this *)
+let message_size = 7
+let reply_size = 3
+
+let layout =
+  Layout.make ~name:"kv-request"
+    [ ("method", 1); ("key", 2); ("value", 2); ("token", 2) ]
+
+let analysis_mask = [ "method"; "key"; "value"; "token" ]
+
+let client =
+  let open Builder in
+  let set_field name value = Layout.store_field layout name ~buf:"req" ~value in
+  prog "kv-client"
+    ~buffers:[ ("req", message_size) ]
+    (List.concat
+       [
+         [
+           read_input "op" ~width:8;
+           read_input "key" ~width:16;
+           read_input "value" ~width:16;
+           (* configuration limits the client to its own key namespace *)
+           when_ (v "key" >=: i16 client_key_space) [ halt ];
+         ];
+         set_field "key" (v "key");
+         set_field "token" (i16 secret_token);
+         [
+           if_ (v "op" =: i8 method_get)
+             (List.concat
+                [
+                  set_field "method" (i8 method_get);
+                  set_field "value" (i16 0);
+                  [ send (i8 0) "req"; halt ];
+                ])
+             [];
+           if_ (v "op" =: i8 method_put)
+             (List.concat
+                [
+                  set_field "method" (i8 method_put);
+                  set_field "value" (v "value");
+                  [ send (i8 0) "req"; halt ];
+                ])
+             [];
+           halt;
+         ];
+       ])
+
+(* The server: parse, reply with a status code, loop. No markers anywhere —
+   classification is entirely [Interp.classify_by_status]. *)
+let server =
+  let open Builder in
+  let field name = Layout.field_expr layout name ~buf:"req" in
+  let reply status body =
+    [
+      store "reply" (i8 0) (i8 status);
+      store "reply" (i8 1) (cast 8 (Binop (Ast.Lshr, body, Num { value = 8; width = 16 })));
+      store "reply" (i8 2) (cast 8 body);
+      send (i8 1) "reply";
+      halt (* back to the event loop *);
+    ]
+  in
+  prog "kv-server"
+    ~globals:[ ("stored", 16) ]
+    ~buffers:[ ("req", message_size); ("reply", reply_size) ]
+    [
+      receive "req";
+      (* NOTE: the token is never checked — the first Trojan family *)
+      if_
+        (field "method" <>: i8 method_get &&: (field "method" <>: i8 method_put))
+        (reply 4 (i16 0x0400) (* 400 bad request *))
+        [];
+      (* the server's key space is wider than any client's configuration —
+         the second Trojan family *)
+      if_ (field "key" >=: i16 server_key_space) (reply 4 (i16 0x0404)) [];
+      if_ (field "method" =: i8 method_put)
+        ([ set "stored" (field "value") ] @ reply 2 (i16 0x0200))
+        (reply 2 (v "stored") (* 200 with the stored value *));
+    ]
+
+let auto_classifier =
+  Interp.classify_by_status ~offset:0 ~accept:(fun code -> code = 2)
+
+open Achilles_smt
+
+(* Ground truth: accepted (2xx) requests that no configured client sends. *)
+let is_trojan bytes =
+  let fv name = Layout.field_value layout bytes name in
+  let meth = Bv.to_int (fv "method") in
+  let key = Bv.to_int (fv "key") in
+  let token = Bv.to_int (fv "token") in
+  let accepted =
+    (meth = method_get || meth = method_put) && key < server_key_space
+  in
+  let generable =
+    (meth = method_get || meth = method_put)
+    && key < client_key_space && token = secret_token
+    && (meth <> method_get || Bv.to_int (fv "value") = 0)
+  in
+  accepted && not generable

@@ -1,0 +1,32 @@
+(** An HTTP-style key-value store exercising §5.1's automatic accept/reject
+    classification: the server carries no markers — every request gets a
+    reply whose status byte says 2xx or 4xx, and
+    {!Achilles_symvm.Interp.classify_by_status} classifies the paths.
+
+    Request: method(1: 1=GET, 2=PUT) key(2) value(2) token(2).
+    Reply: status(1: 2=2xx, 4=4xx) body(2).
+
+    Two planted Trojan families: the server never validates [token] (while
+    clients always send the deployment secret), and it serves any key below
+    [server_key_space] while clients are configured with the smaller
+    [client_key_space]. *)
+
+open Achilles_smt
+open Achilles_symvm
+
+val method_get : int
+val method_put : int
+val secret_token : int
+val client_key_space : int
+val server_key_space : int
+val message_size : int
+val reply_size : int
+val layout : Layout.t
+val analysis_mask : string list
+val client : Ast.program
+val server : Ast.program
+
+val auto_classifier : State.t -> State.status option
+(** [classify_by_status] on the reply's status byte, accepting 2xx. *)
+
+val is_trojan : Bv.t array -> bool

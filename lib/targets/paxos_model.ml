@@ -1,0 +1,139 @@
+(* A single-decree Paxos acceptor, used to demonstrate the three local-state
+   modes of §3.4 exactly on the paper's example: an acceptor that has just
+   entered the second phase with a proposed value should only validate
+   Accept messages carrying *that* value — any other Accept that it takes is
+   a Trojan message.
+
+   Message format: mtype(1) ballot(2) value(2) proposer(1).
+   mtype: 1 = Prepare, 2 = Accept. *)
+
+open Achilles_symvm
+
+let msg_prepare = 1
+let msg_accept = 2
+let n_proposers = 3
+let message_size = 6
+
+let layout =
+  Layout.make ~name:"paxos"
+    [ ("mtype", 1); ("ballot", 2); ("value", 2); ("proposer", 1) ]
+
+(* --- proposer (the client side of phase 2) ----------------------------------- *)
+
+(* A correct phase-2 proposer only sends Accept for the value it proposed in
+   phase 1 — which the caller pins (concretely or symbolically). *)
+let proposer ~value =
+  let open Builder in
+  let set_field name v = Layout.store_field layout name ~buf:"msg" ~value:v in
+  prog "paxos-proposer"
+    ~buffers:[ ("msg", message_size) ]
+    (List.concat
+       [
+         [
+           make_symbolic "me" ~width:8;
+           assume (v "me" <: i8 n_proposers);
+           read_input "ballot" ~width:16;
+         ];
+         set_field "mtype" (i8 msg_accept);
+         set_field "ballot" (v "ballot");
+         set_field "value" value;
+         set_field "proposer" (cast 8 (v "me"));
+         [ send (i8 0) "msg"; halt ];
+       ])
+
+let proposer_concrete ~value = proposer ~value:(Builder.i16 value)
+
+(* A proposer whose proposal value is itself a symbolic input — used by the
+   constructed-symbolic-local-state mode so one analysis covers all values. *)
+let proposer_symbolic =
+  let open Builder in
+  prog "paxos-proposer-symbolic"
+    ~buffers:[ ("msg", message_size) ]
+    (List.concat
+       [
+         [
+           make_symbolic "me" ~width:8;
+           assume (v "me" <: i8 n_proposers);
+           read_input "ballot" ~width:16;
+           read_input "proposal" ~width:16;
+         ];
+         Layout.store_field layout "mtype" ~buf:"msg" ~value:(i8 msg_accept);
+         Layout.store_field layout "ballot" ~buf:"msg" ~value:(v "ballot");
+         Layout.store_field layout "value" ~buf:"msg" ~value:(v "proposal");
+         Layout.store_field layout "proposer" ~buf:"msg"
+           ~value:(cast 8 (v "me"));
+         [ send (i8 0) "msg"; halt ];
+       ])
+
+(* --- acceptor ----------------------------------------------------------------- *)
+
+(* Acceptor in phase 2. Its local state: [promised] (the highest ballot it
+   promised in phase 1) and [locked_value] (the phase-2 value, 0 when none).
+   The acceptor validates the ballot against its promise, but — like many
+   real implementations — never cross-checks the proposed value against the
+   value already locked by the protocol: a Trojan opportunity that only
+   shows up once local state is taken into account. *)
+let acceptor =
+  let open Builder in
+  let field name = Layout.field_expr layout name ~buf:"msg" in
+  prog "paxos-acceptor"
+    ~globals:[ ("promised", 16); ("locked_value", 16) ]
+    ~buffers:[ ("msg", message_size); ("reply", 2) ]
+    [
+      (* event loop: earlier rounds (preloaded messages) run through the
+         same handler and build up local state; accept/reject markers only
+         classify the analyzed round *)
+      while_ (i8 1)
+        [
+          receive "msg";
+          when_
+            (field "proposer" >=: i8 n_proposers)
+            [ mark_reject "bad-proposer" ];
+          switch (field "mtype")
+            [
+              ( msg_prepare,
+                [
+                  when_
+                    (field "ballot" <=: v "promised")
+                    [ mark_reject "old-ballot" ];
+                  set "promised" (field "ballot");
+                  store "reply" (i8 0) (i8 msg_prepare);
+                  send (field "proposer") "reply";
+                  mark_accept "promise";
+                ] );
+              ( msg_accept,
+                [
+                  when_
+                    (field "ballot" <: v "promised")
+                    [ mark_reject "below-promise" ];
+                  (* BUG: nothing checks that msg.value matches the value
+                     the protocol locked for this ballot *)
+                  store "reply" (i8 0) (i8 msg_accept);
+                  send (field "proposer") "reply";
+                  mark_accept "accepted";
+                ] );
+            ]
+            ~default:[ mark_reject "bad-type" ];
+        ];
+    ]
+
+(* A concrete phase-1-plus-proposal prefix for the Concrete Local State
+   mode: the acceptor promises ballot [ballot] (so the analysis starts in
+   phase 2). Running it concretely builds promised = ballot. *)
+let phase1_prefix ~ballot =
+  let open Builder in
+  prog "paxos-acceptor-phase1"
+    ~globals:[ ("promised", 16); ("locked_value", 16) ]
+    ~buffers:[ ("msg", message_size) ]
+    [ set "promised" (i16 ballot); halt ]
+
+open Achilles_smt
+
+(* Ground truth for the concrete scenario (promised ballot B, chosen value
+   V): a Trojan Accept is one the acceptor takes with value <> V. *)
+let is_phase2_trojan ~promised ~chosen_value bytes =
+  let fv name = Layout.field_value layout bytes name in
+  Bv.to_int (fv "mtype") = msg_accept
+  && Bv.to_int (fv "proposer") < n_proposers
+  && Bv.to_int (fv "ballot") >= promised
+  && Bv.to_int (fv "value") <> chosen_value

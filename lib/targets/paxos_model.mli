@@ -1,0 +1,41 @@
+(** A single-decree Paxos acceptor, the paper's running example for the
+    local-state modes (§3.4).
+
+    Once value [v] is locked in phase 2, correct proposers only send
+    [Accept (ballot, v)]; the acceptor however takes any Accept with a high
+    enough ballot — every Accept carrying a different value is a Trojan
+    for that scenario. The acceptor's behaviour depends on its promised
+    ballot, which each local-state mode controls differently.
+
+    Message format: mtype(1: 1=Prepare, 2=Accept) ballot(2) value(2)
+    proposer(1). *)
+
+open Achilles_smt
+open Achilles_symvm
+
+val msg_prepare : int
+val msg_accept : int
+val n_proposers : int
+val message_size : int
+val layout : Layout.t
+
+val proposer : value:Ast.expr -> Ast.program
+(** A phase-2 proposer sending Accept for the given value expression. *)
+
+val proposer_concrete : value:int -> Ast.program
+
+val proposer_symbolic : Ast.program
+(** Proposal value as a symbolic input — one constructed-symbolic-state
+    analysis covers every concrete value. *)
+
+val acceptor : Ast.program
+(** Event-loop acceptor; earlier (preloaded) rounds run through the same
+    handler and build local state. The planted bug: Accept values are
+    never cross-checked against the locked value. *)
+
+val phase1_prefix : ballot:int -> Ast.program
+(** Concrete prefix for {!Achilles_core.Local_state.concrete}: leaves the
+    acceptor having promised [ballot]. *)
+
+val is_phase2_trojan :
+  promised:int -> chosen_value:int -> Bv.t array -> bool

@@ -1,0 +1,174 @@
+(* Model of a PBFT client request and replica, following §6.1.
+
+   Message format (sizes as in the paper, with the variable-length command
+   and authenticator list fixed for the analysis): tag(2) extra(2) size(4)
+   od(16) replier(2) command_size(2) cid(2) rid(2) command(4) mac(8).
+
+   As in the paper's setup, the digest [od] and the MAC authenticators are
+   approximated with predefined constants on the client side (annotation
+   bypass of the crypto), and the replica's local request-history data
+   structure is over-approximated with unconstrained symbolic state.
+
+   The replica checks the tag, the sizes, the digest, that the client id is
+   known, and that the request id is fresh — but it never verifies the MAC
+   authenticators. Since correct clients always emit the (approximated)
+   valid authenticator bytes, every request with a different MAC is a
+   Trojan message: the MAC attack of Clement et al., rediscovered exactly
+   as in §6.3. *)
+
+open Achilles_symvm
+
+let tag_request = 0x0001
+let n_replicas = 4
+let n_clients = 4
+let command_bytes = 4
+let mac_bytes = 2 * n_replicas
+let message_size = 2 + 2 + 4 + 16 + 2 + 2 + 2 + 2 + command_bytes + mac_bytes
+
+let digest_byte = 0xD1 (* the approximated digest constant *)
+let mac_byte = 0xAC (* the approximated valid-authenticator constant *)
+
+let layout =
+  Layout.make ~name:"pbft-request"
+    [
+      ("tag", 2);
+      ("extra", 2);
+      ("size", 4);
+      ("od", 16);
+      ("replier", 2);
+      ("command_size", 2);
+      ("cid", 2);
+      ("rid", 2);
+      ("command", command_bytes);
+      ("mac", mac_bytes);
+    ]
+
+(* od and mac are multi-byte constant blocks; negate handles them as whole
+   fields, but od is 16 bytes > 64 bits, so the analysis masks it the same
+   way the paper does (the digest is approximated and uninteresting). *)
+let analysis_mask =
+  [ "tag"; "extra"; "size"; "replier"; "command_size"; "cid"; "rid";
+    "command"; "mac" ]
+
+let store_byte_range ~buf ~field ~value =
+  let open Builder in
+  fun layout_ ->
+    let f = Layout.field layout_ field in
+    List.init f.Layout.size (fun i ->
+        store buf (i32 (f.Layout.offset + i)) (i8 value))
+
+(* --- client ---------------------------------------------------------------- *)
+
+let client =
+  let open Builder in
+  let set_field name value = Layout.store_field layout name ~buf:"req" ~value in
+  let fill field value = store_byte_range ~buf:"req" ~field ~value layout in
+  prog "pbft-client"
+    ~buffers:[ ("req", message_size) ]
+    (List.concat
+       [
+         [
+           (* a correct client has one of the configured identities *)
+           make_symbolic "my_cid" ~width:16;
+           assume (v "my_cid" <: i16 n_clients);
+           (* the request id, command payload, responsible-replica choice and
+              flags all come from the upper layer: unconstrained inputs *)
+           read_input "my_rid" ~width:16;
+           read_input "flags" ~width:16;
+           read_input "want_replier" ~width:16;
+           read_input "payload" ~width:(8 * command_bytes);
+         ];
+         set_field "tag" (i16 tag_request);
+         set_field "extra" (v "flags");
+         set_field "size" (i32 message_size);
+         fill "od" digest_byte;
+         set_field "replier" (v "want_replier");
+         set_field "command_size" (i16 command_bytes);
+         set_field "cid" (v "my_cid");
+         set_field "rid" (v "my_rid");
+         set_field "command" (v "payload");
+         (* authenticators: the approximated signing constant — a correct
+            client can only ever produce these bytes *)
+         fill "mac" mac_byte;
+         [ send (i16 0) "req"; halt ];
+       ])
+
+(* --- replica ---------------------------------------------------------------- *)
+
+(* [last_rid] stands for the replica's per-client request-history structure;
+   the analysis over-approximates it with unconstrained symbolic state
+   (Local_state.over_approximate), per §6.1. *)
+let replica =
+  let open Builder in
+  let field name = Layout.field_expr layout name ~buf:"req" in
+  let od_byte i =
+    load "req" (i32 ((Layout.field layout "od").Layout.offset + i))
+  in
+  let check_od =
+    List.init 16 (fun i ->
+        when_ (od_byte i <>: i8 digest_byte) [ mark_reject "bad-digest" ])
+  in
+  prog "pbft-replica"
+    ~globals:[ ("last_rid", 16) ]
+    ~buffers:[ ("req", message_size); ("pre_prepare", 4) ]
+    (List.concat
+       [
+         [
+           receive "req";
+           when_ (field "tag" <>: i16 tag_request) [ mark_reject "bad-tag" ];
+           when_ (field "size" <>: i32 message_size) [ mark_reject "bad-size" ];
+           when_
+             (field "command_size" <>: i16 command_bytes)
+             [ mark_reject "bad-command-size" ];
+         ];
+         check_od;
+         [
+           (* known client? *)
+           when_ (field "cid" >=: i16 n_clients) [ mark_reject "unknown-client" ];
+           (* request id must be fresh w.r.t. the (over-approximated)
+              history *)
+           when_ (field "rid" <=: v "last_rid") [ mark_reject "stale-rid" ];
+           set "last_rid" (field "rid");
+           (* NOTE the missing check: the MAC authenticators are never
+              verified before the request enters the agreement protocol *)
+           if_
+             ((field "extra" &: i16 1) <>: i16 0)
+             [
+               (* read-only requests are executed directly *)
+               store "pre_prepare" (i32 0) (i8 2);
+               send (i16 1) "pre_prepare";
+               mark_accept "read-only";
+             ]
+             [
+               (* generate the Pre_prepare, starting agreement (§6.1's
+                  acceptance point) *)
+               store "pre_prepare" (i32 0) (i8 1);
+               send (i16 1) "pre_prepare";
+               mark_accept "pre-prepare";
+             ];
+         ];
+       ])
+
+(* --- ground truth ------------------------------------------------------------ *)
+
+open Achilles_smt
+
+(* Accepted by the replica (given some reachable history state)? *)
+let replica_accepts ?(last_rid = 0) bytes =
+  let fv name = Layout.field_value layout bytes name in
+  let od = Layout.field_bytes layout bytes "od" in
+  Bv.to_int (fv "tag") = tag_request
+  && Bv.to_int (fv "size") = message_size
+  && Bv.to_int (fv "command_size") = command_bytes
+  && Array.for_all (fun b -> Bv.to_int b = digest_byte) od
+  && Bv.to_int (fv "cid") < n_clients
+  && Bv.to_int (fv "rid") > last_rid
+
+let has_valid_mac bytes =
+  Array.for_all
+    (fun b -> Bv.to_int b = mac_byte)
+    (Layout.field_bytes layout bytes "mac")
+
+(* A Trojan request: accepted, yet carrying authenticator bytes no correct
+   client can produce. *)
+let is_mac_trojan bytes = replica_accepts bytes && not (has_valid_mac bytes)

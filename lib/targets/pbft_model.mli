@@ -1,0 +1,40 @@
+(** Model of a PBFT client request and replica, following §6.1.
+
+    Request format: tag(2) extra(2) size(4) od(16) replier(2)
+    command_size(2) cid(2) rid(2) command(4) mac(8). The digest [od] and
+    the MAC authenticators are approximated with constants on the client
+    side (the paper's annotation bypass of the crypto); the replica's
+    request-history structure is over-approximated with symbolic state
+    ([last_rid], see {!Achilles_core.Local_state.over_approximate}).
+
+    The replica checks tag, sizes, digest, client id and request freshness
+    — but never the authenticators. Correct clients only emit the
+    (approximated) valid MAC bytes, so every request with a different MAC
+    is a Trojan: the MAC attack of Clement et al., rediscovered as in
+    §6.2-§6.3. *)
+
+open Achilles_smt
+open Achilles_symvm
+
+val tag_request : int
+val n_replicas : int
+val n_clients : int
+val command_bytes : int
+val mac_bytes : int
+val message_size : int
+val digest_byte : int
+val mac_byte : int
+val layout : Layout.t
+
+val analysis_mask : string list
+(** All fields except the 16-byte digest (masked like the paper masks the
+    approximated crypto). *)
+
+val client : Ast.program
+val replica : Ast.program
+
+val replica_accepts : ?last_rid:int -> Bv.t array -> bool
+val has_valid_mac : Bv.t array -> bool
+val is_mac_trojan : Bv.t array -> bool
+(** Accepted, yet carrying authenticator bytes no correct client
+    produces. *)

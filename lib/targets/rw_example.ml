@@ -1,0 +1,145 @@
+(* The paper's working example (Figures 2 and 3): a read/write server whose
+   READ handler forgets to reject negative addresses, and a client that
+   validates addresses before sending. Any READ request with a negative
+   address is a Trojan message.
+
+   Message layout: sender(1) request(1) address(4) value(4) crc(1).
+   The crc is a simple additive checksum over the preceding bytes, computed
+   by both sides — a stand-in for the paper's CRC whose negation disjunct
+   the overlap check is expected to discard (sums are not injective). *)
+
+open Achilles_symvm
+
+let read_op = 1
+let write_op = 2
+let data_size = 100
+let message_size = 11
+
+let layout =
+  Layout.make ~name:"rw"
+    [ ("sender", 1); ("request", 1); ("address", 4); ("value", 4); ("crc", 1) ]
+
+(* checksum over bytes [0, 10) of a buffer *)
+let checksum_proc buf =
+  let open Builder in
+  proc "checksum" ~params:[]
+    [
+      set "crc_acc" (i8 0);
+      set "crc_i" (i32 0);
+      while_
+        (v "crc_i" <: i32 (message_size - 1))
+        [
+          set "crc_acc" (v "crc_acc" +: load buf (v "crc_i"));
+          set "crc_i" (v "crc_i" +: i32 1);
+        ];
+      return (v "crc_acc");
+    ]
+
+let server =
+  let open Builder in
+  let field name = Layout.field_expr layout name ~buf:"msg" in
+  prog "rw-server"
+    ~buffers:[ ("msg", message_size); ("reply", 2) ]
+    ~procs:[ checksum_proc "msg" ]
+    [
+      receive "msg";
+      (* isInSet(msg.sender, peers): the configured peers are {1, 2, 3} *)
+      if_
+        (field "sender" =: i8 1 ||: (field "sender" =: i8 2)
+        ||: (field "sender" =: i8 3))
+        []
+        [ mark_reject "unknown-peer" ];
+      call "checksum" [] ~result:"sum";
+      if_ (field "crc" <>: v "sum") [ mark_reject "bad-crc" ] [];
+      switch (field "request")
+        [
+          ( read_op,
+            [
+              (* BUG (from the paper): only the upper bound is checked; a
+                 negative address passes the signed comparison *)
+              if_
+                (field "address" >=+: i32 data_size)
+                [ mark_reject "read-oob" ]
+                [];
+              store "reply" (i8 0) (i8 read_op);
+              send (field "sender") "reply";
+              mark_accept "read";
+            ] );
+          ( write_op,
+            [
+              if_
+                (field "address" >=+: i32 data_size)
+                [ mark_reject "write-oob" ]
+                [];
+              if_ (field "address" <+: i32 0) [ mark_reject "write-neg" ] [];
+              store "reply" (i8 0) (i8 write_op);
+              send (field "sender") "reply";
+              mark_accept "write";
+            ] );
+        ]
+        ~default:[ mark_reject "bad-request" ];
+    ]
+
+let client =
+  let open Builder in
+  let set_field name value = Layout.store_field layout name ~buf:"msg" ~value in
+  prog "rw-client"
+    ~buffers:[ ("msg", message_size) ]
+    ~procs:[ checksum_proc "msg" ]
+    [
+      (* getPeerID(): over-approximated to [1, 3] via annotations (Fig. 9) *)
+      make_symbolic "peer_id" ~width:8;
+      when_ (v "peer_id" <: i8 1) [ drop_path ];
+      when_ (v "peer_id" >: i8 3) [ drop_path ];
+      read_input "operation" ~width:8;
+      read_input "address" ~width:32;
+      (* the client validates the address before contacting the server *)
+      when_ (v "address" >=+: i32 data_size) [ halt ];
+      when_ (v "address" <+: i32 0) [ halt ];
+      when_
+        (v "operation" =: i8 read_op)
+        (List.concat
+           [
+             set_field "sender" (cast 8 (v "peer_id"));
+             set_field "request" (i8 read_op);
+             set_field "address" (v "address");
+             set_field "value" (i32 0);
+             [ call "checksum" [] ~result:"sum" ];
+             set_field "crc" (cast 8 (v "sum"));
+             [ send (i8 0) "msg" ];
+           ]);
+      when_
+        (v "operation" =: i8 write_op)
+        (List.concat
+           [
+             [ read_input "value" ~width:32 ];
+             set_field "sender" (cast 8 (v "peer_id"));
+             set_field "request" (i8 write_op);
+             set_field "address" (v "address");
+             set_field "value" (v "value");
+             [ call "checksum" [] ~result:"sum" ];
+             set_field "crc" (cast 8 (v "sum"));
+             [ send (i8 0) "msg" ];
+           ]);
+      halt;
+    ]
+
+(* Ground truth for tests: a message is a Trojan iff it passes the server's
+   checks with request = READ and a (signed) negative address. *)
+let is_trojan bytes =
+  let open Achilles_smt in
+  let sender = Bv.to_int (Layout.field_value layout bytes "sender") in
+  let request = Bv.to_int (Layout.field_value layout bytes "request") in
+  let address = Layout.field_value layout bytes "address" in
+  let crc_expected =
+    let acc = ref (Bv.zero 8) in
+    for i = 0 to message_size - 2 do
+      acc := Bv.add !acc bytes.(i)
+    done;
+    !acc
+  in
+  let crc = Layout.field_value layout bytes "crc" in
+  sender >= 1 && sender <= 3
+  && Bv.equal crc crc_expected
+  && request = read_op
+  && Bv.slt address (Bv.zero 32)

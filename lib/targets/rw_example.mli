@@ -1,0 +1,30 @@
+(** The paper's working example (Figures 2-3): a read/write server whose
+    READ handler forgets to reject negative addresses, and a client that
+    validates addresses before sending. Every READ with a (signed) negative
+    address is a Trojan message.
+
+    Message layout: sender(1) request(1) address(4) value(4) crc(1), where
+    crc is an additive checksum both sides compute — a stand-in for the
+    CRC of the paper's example whose negation disjuncts the overlap check
+    discards (sums are not injective). *)
+
+open Achilles_smt
+open Achilles_symvm
+
+val read_op : int
+val write_op : int
+val data_size : int
+val message_size : int
+val layout : Layout.t
+
+val server : Ast.program
+(** Figure 2, with the planted missing-lower-bound check on READ. *)
+
+val client : Ast.program
+(** Figure 3: validates [0 <= address < data_size] before sending; the
+    peer id is over-approximated to the configured range via annotations
+    (the Figure 9 idiom). *)
+
+val is_trojan : Bv.t array -> bool
+(** Ground truth: the message passes all server checks with request = READ
+    and a signed-negative address. *)

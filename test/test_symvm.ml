@@ -1,0 +1,548 @@
+(* Tests for the protocol DSL: builder validation, the concrete interpreter,
+   the symbolic interpreter, layouts, and the consistency between symbolic
+   and concrete execution. *)
+
+open Achilles_smt
+open Achilles_symvm
+
+let bv = Alcotest.testable Bv.pp Bv.equal
+let b8 n = Bv.of_int ~width:8 n
+
+(* --- builder / validation ------------------------------------------------- *)
+
+let test_validate_catches_unknowns () =
+  let open Builder in
+  Alcotest.check_raises "unknown buffer"
+    (Invalid_argument "Builder.prog bad: unknown buffer nope") (fun () ->
+      ignore (prog "bad" [ receive "nope" ]));
+  Alcotest.check_raises "unknown procedure"
+    (Invalid_argument "Builder.prog bad2: unknown procedure f") (fun () ->
+      ignore (prog "bad2" [ call "f" [] ]));
+  match
+    Ast.validate
+      {
+        Ast.prog_name = "arity";
+        globals = [];
+        buffers = [];
+        procs = [ { Ast.proc_name = "p"; params = [ ("x", 8) ]; body = [] } ];
+        main = [ Ast.Call { proc = "p"; args = []; result = None } ];
+      }
+  with
+  | Error [ msg ] ->
+      Alcotest.(check string) "arity error" "procedure p expects 1 arguments, got 0" msg
+  | _ -> Alcotest.fail "expected a single arity error"
+
+(* --- concrete interpreter --------------------------------------------------- *)
+
+let test_concrete_arith () =
+  let open Builder in
+  let program =
+    prog "arith" ~globals:[ ("out", 32) ]
+      [
+        set "x" (i32 6);
+        set "y" (i32 7);
+        set "out" (v "x" *: v "y");
+        halt;
+      ]
+  in
+  let outcome = Concrete.run program in
+  Alcotest.(check bv) "6*7" (Bv.of_int ~width:32 42)
+    (List.assoc "out" outcome.Concrete.globals)
+
+let test_concrete_loop_and_proc () =
+  let open Builder in
+  let sum_proc =
+    proc "sum_to" ~params:[ ("n", 32) ]
+      [
+        set "acc" (i32 0);
+        set "i" (i32 1);
+        while_
+          (v "i" <=: v "n")
+          [ set "acc" (v "acc" +: v "i"); set "i" (v "i" +: i32 1) ];
+        return (v "acc");
+      ]
+  in
+  let program =
+    prog "looper" ~globals:[ ("out", 32) ] ~procs:[ sum_proc ]
+      [ call "sum_to" [ i32 10 ] ~result:"r"; set "out" (v "r"); halt ]
+  in
+  let outcome = Concrete.run program in
+  Alcotest.(check bv) "sum 1..10" (Bv.of_int ~width:32 55)
+    (List.assoc "out" outcome.Concrete.globals)
+
+let test_concrete_switch () =
+  let open Builder in
+  let program which =
+    prog "sw" ~globals:[ ("out", 8) ]
+      [
+        set "x" (i8 which);
+        switch (v "x")
+          [ (1, [ set "out" (i8 10) ]); (2, [ set "out" (i8 20) ]) ]
+          ~default:[ set "out" (i8 99) ];
+        halt;
+      ]
+  in
+  let out which =
+    List.assoc "out" (Concrete.run (program which)).Concrete.globals
+  in
+  Alcotest.(check bv) "case 1" (b8 10) (out 1);
+  Alcotest.(check bv) "case 2" (b8 20) (out 2);
+  Alcotest.(check bv) "default" (b8 99) (out 7)
+
+let test_concrete_step_limit () =
+  let open Builder in
+  let program =
+    prog "spin" [ set "x" (i8 1); while_ (v "x" =: i8 1) [ set "x" (v "x") ] ]
+  in
+  let outcome = Concrete.run ~max_steps:500 program in
+  match outcome.Concrete.status with
+  | State.Crashed "step limit" -> ()
+  | s -> Alcotest.failf "expected step-limit crash, got %s" (State.status_string s)
+
+let test_concrete_receive_send () =
+  let open Builder in
+  let program =
+    prog "echo"
+      ~buffers:[ ("inbox", 2); ("outbox", 2) ]
+      [
+        receive "inbox";
+        store "outbox" (i8 0) (load "inbox" (i8 1));
+        store "outbox" (i8 1) (load "inbox" (i8 0));
+        send (i8 9) "outbox";
+        halt;
+      ]
+  in
+  let outcome =
+    Concrete.run ~incoming:[ [| b8 0xAA; b8 0xBB |] ] program
+  in
+  (match outcome.Concrete.sent with
+  | [ (dst, payload) ] ->
+      Alcotest.(check bv) "destination" (b8 9) dst;
+      Alcotest.(check bv) "swapped 0" (b8 0xBB) payload.(0);
+      Alcotest.(check bv) "swapped 1" (b8 0xAA) payload.(1)
+  | _ -> Alcotest.fail "expected exactly one send");
+  (* with no message pending, the node just waits: Finished *)
+  let idle = Concrete.run program in
+  Alcotest.(check string) "idle finishes" "finished"
+    (State.status_string idle.Concrete.status)
+
+let test_concrete_oob_crashes () =
+  let open Builder in
+  let program =
+    prog "oob" ~buffers:[ ("b", 2) ] [ store "b" (i8 5) (i8 1); halt ]
+  in
+  match (Concrete.run program).Concrete.status with
+  | State.Crashed _ -> ()
+  | _ -> Alcotest.fail "expected a crash"
+
+let test_concrete_assume () =
+  let open Builder in
+  let program ok =
+    prog "as" [ set "x" (i8 (if ok then 1 else 2)); assume (v "x" =: i8 1); halt ]
+  in
+  Alcotest.(check string) "assume holds" "finished"
+    (State.status_string (Concrete.run (program true)).Concrete.status);
+  Alcotest.(check string) "assume fails" "dropped"
+    (State.status_string (Concrete.run (program false)).Concrete.status)
+
+(* --- symbolic interpreter ---------------------------------------------------- *)
+
+let terminal_statuses run =
+  List.map (fun (s : State.t) -> s.State.status) run.Interp.terminals
+
+let test_symbolic_forks () =
+  let open Builder in
+  let program =
+    prog "forky"
+      [
+        read_input "x" ~width:8;
+        if_ (v "x" <: i8 10)
+          [ if_ (v "x" =: i8 3) [ mark_accept "three" ] [ mark_reject "small" ] ]
+          [ mark_reject "big" ];
+      ]
+  in
+  let run = Interp.run program in
+  Alcotest.(check int) "three paths" 3 (List.length run.Interp.terminals);
+  Alcotest.(check int) "two fork points" 2 run.Interp.stats.Interp.forks;
+  let accepted =
+    List.filter (fun s -> s = State.Accepted "three") (terminal_statuses run)
+  in
+  Alcotest.(check int) "one accepting" 1 (List.length accepted)
+
+let test_symbolic_infeasible_branch_not_explored () =
+  let open Builder in
+  let program =
+    prog "narrow"
+      [
+        read_input "x" ~width:8;
+        assume (v "x" <: i8 5);
+        if_ (v "x" >: i8 100) [ mark_accept "impossible" ] [ mark_reject "fine" ];
+      ]
+  in
+  let run = Interp.run program in
+  Alcotest.(check (list string)) "only the feasible side"
+    [ "rejected:fine" ]
+    (List.map State.status_string (terminal_statuses run))
+
+let test_symbolic_unroll_bound () =
+  let open Builder in
+  let program =
+    prog "loop8"
+      [
+        read_input "n" ~width:8;
+        set "i" (i8 0);
+        while_ (v "i" <: v "n") [ set "i" (v "i" +: i8 1) ];
+        mark_accept "done";
+      ]
+  in
+  let config = { Interp.default_config with Interp.max_unroll = 4 } in
+  let run = Interp.run ~config program in
+  (* paths for n = 0..3 complete; longer loops are truncated *)
+  let accepted, truncated =
+    List.partition
+      (fun (s : State.t) ->
+        match s.State.status with State.Accepted _ -> true | _ -> false)
+      run.Interp.terminals
+  in
+  Alcotest.(check int) "completed unrollings" 4 (List.length accepted);
+  Alcotest.(check bool) "some truncation" true (List.length truncated >= 1);
+  Alcotest.(check bool) "stat recorded" true (run.Interp.stats.Interp.truncated >= 1)
+
+let test_symbolic_receive_protocol () =
+  let open Builder in
+  let program =
+    prog "twice" ~buffers:[ ("m", 1) ]
+      [ receive "m"; receive "m"; mark_accept "never" ]
+  in
+  let run = Interp.run program in
+  (* second receive hits the event loop boundary: path finishes *)
+  Alcotest.(check (list string)) "finished at loop boundary" [ "finished" ]
+    (List.map
+       (fun (s : State.t) -> State.status_string s.State.status)
+       run.Interp.terminals);
+  let st = List.hd run.Interp.terminals in
+  Alcotest.(check bool) "message vars recorded" true (st.State.msg_vars <> None)
+
+let test_symbolic_preload_then_fresh () =
+  let open Builder in
+  let program =
+    prog "rounds" ~buffers:[ ("m", 1) ]
+      [
+        receive "m";
+        set "first" (load "m" (i8 0));
+        receive "m";
+        if_ (load "m" (i8 0) =: v "first") [ mark_accept "same" ]
+          [ mark_reject "diff" ];
+      ]
+  in
+  let preload = [ [| Term.int ~width:8 7 |] ] in
+  let config = { Interp.default_config with Interp.preload_messages = preload } in
+  let run = Interp.run ~config program in
+  (* first receive consumes the preload; second gets the fresh symbolic
+     message, so both branches of the comparison are feasible *)
+  let statuses =
+    List.map (fun (s : State.t) -> State.status_string s.State.status)
+      run.Interp.terminals
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "both outcomes"
+    [ "accepted:same"; "rejected:diff" ] statuses
+
+let test_symbolic_store_symbolic_index () =
+  let open Builder in
+  let program =
+    prog "symidx" ~buffers:[ ("b", 3) ]
+      [
+        read_input "i" ~width:8;
+        assume (v "i" <: i8 3);
+        store "b" (v "i") (i8 0xEE);
+        if_ (load "b" (v "i") =: i8 0xEE) [ mark_accept "read-back" ]
+          [ mark_reject "lost" ];
+      ]
+  in
+  let run = Interp.run program in
+  let rejected =
+    List.exists
+      (fun (s : State.t) ->
+        match s.State.status with State.Rejected _ -> true | _ -> false)
+      run.Interp.terminals
+  in
+  Alcotest.(check bool) "store/load through symbolic index" false rejected
+
+(* --- layout round trips -------------------------------------------------------- *)
+
+let test_layout_roundtrip_via_dsl () =
+  let layout = Layout.make ~name:"t" [ ("a", 1); ("b", 2); ("c", 4) ] in
+  let open Builder in
+  let program =
+    prog "rt" ~buffers:[ ("m", 7) ] ~globals:[ ("out_b", 16); ("out_c", 32) ]
+      (List.concat
+         [
+           Layout.store_field layout "a" ~buf:"m" ~value:(i8 0x11);
+           Layout.store_field layout "b" ~buf:"m" ~value:(i16 0xBEEF);
+           Layout.store_field layout "c" ~buf:"m" ~value:(i32 0xDEADBEEF);
+           [
+             set "out_b" (Layout.field_expr layout "b" ~buf:"m");
+             set "out_c" (Layout.field_expr layout "c" ~buf:"m");
+             halt;
+           ];
+         ])
+  in
+  let outcome = Concrete.run program in
+  Alcotest.(check bv) "b round trip" (Bv.of_int ~width:16 0xBEEF)
+    (List.assoc "out_b" outcome.Concrete.globals);
+  Alcotest.(check bv) "c round trip"
+    (Bv.make ~width:32 0xDEADBEEFL)
+    (List.assoc "out_c" outcome.Concrete.globals);
+  let m = List.assoc "m" outcome.Concrete.buffers in
+  Alcotest.(check bv) "big-endian high byte of c" (b8 0xDE) m.(3);
+  Alcotest.(check bv) "field_value agrees"
+    (Bv.make ~width:32 0xDEADBEEFL)
+    (Layout.field_value layout m "c")
+
+(* every DSL binary operator agrees with the Bv reference semantics when
+   run through the concrete interpreter *)
+let qcheck_concrete_ops_match_bv =
+  let ops : (Ast.binop * (Bv.t -> Bv.t -> Bv.t)) list =
+    [
+      (Ast.Add, Bv.add);
+      (Ast.Sub, Bv.sub);
+      (Ast.Mul, Bv.mul);
+      (Ast.Udiv, Bv.udiv);
+      (Ast.Urem, Bv.urem);
+      (Ast.Band, Bv.logand);
+      (Ast.Bor, Bv.logor);
+      (Ast.Bxor, Bv.logxor);
+      (Ast.Shl, Bv.shl);
+      (Ast.Lshr, Bv.lshr);
+      (Ast.Ashr, Bv.ashr);
+    ]
+  in
+  let gen =
+    QCheck2.Gen.(
+      let* op = int_range 0 (List.length ops - 1) in
+      let* a = int_range 0 255 in
+      let* b = int_range 0 255 in
+      return (op, a, b))
+  in
+  QCheck2.Test.make ~name:"DSL operators match Bv semantics" ~count:200 gen
+    (fun (op_idx, a, b) ->
+      let op, reference = List.nth ops op_idx in
+      let open Builder in
+      let program =
+        prog "op" ~globals:[ ("out", 8) ]
+          [ set "out" (Ast.Binop (op, i8 a, i8 b)); halt ]
+      in
+      let outcome = Concrete.run program in
+      Bv.equal
+        (List.assoc "out" outcome.Concrete.globals)
+        (reference (b8 a) (b8 b)))
+
+(* ...and with the symbolic interpreter on constant inputs, the smart
+   constructors must fold to the same value *)
+let qcheck_symbolic_constant_folding_matches =
+  let gen =
+    QCheck2.Gen.(
+      let* a = int_range 0 255 in
+      let* b = int_range 1 255 in
+      return (a, b))
+  in
+  QCheck2.Test.make ~name:"symbolic constant folding matches concrete"
+    ~count:100 gen (fun (a, b) ->
+      let open Builder in
+      let program =
+        prog "fold" ~globals:[ ("out", 8) ]
+          [
+            set "x" (i8 a);
+            set "out" ((v "x" *: i8 b) +: (v "x" /: i8 b));
+            halt;
+          ]
+      in
+      let concrete = List.assoc "out" (Concrete.run program).Concrete.globals in
+      let run = Interp.run program in
+      match run.Interp.terminals with
+      | [ st ] -> (
+          match
+            Achilles_symvm.State.String_map.find "out" st.State.globals
+          with
+          | Achilles_smt.Term.Const v -> Bv.equal v concrete
+          | _ -> false)
+      | _ -> false)
+
+(* --- pretty printer -------------------------------------------------------------- *)
+
+let test_pp_golden () =
+  let open Builder in
+  let program =
+    prog "golden" ~globals:[ ("g", 16) ] ~buffers:[ ("m", 2) ]
+      ~procs:[ proc "inc" ~params:[ ("x", 8) ] [ return (v "x" +: i8 1) ] ]
+      [
+        receive "m";
+        call "inc" [ load "m" (i8 0) ] ~result:"r";
+        if_ (v "r" =: chr 'a') [ mark_accept "ok" ] [ mark_reject "no" ];
+      ]
+  in
+  let expected =
+    "// program golden\n\
+     global u16 g;\n\
+     buffer m[2];\n\
+     \n\
+     proc inc(u8 x) {\n\
+    \  return x + 1;\n\
+     }\n\
+     \n\
+     main {\n\
+    \  m = receive();\n\
+    \  r = inc(m[0]);\n\
+    \  if (r == 'a') {\n\
+    \    mark_accept(\"ok\");\n\
+    \  } else {\n\
+    \    mark_reject(\"no\");\n\
+    \  }\n\
+     }"
+  in
+  Alcotest.(check string) "golden output" expected
+    (Pp.program_to_string program)
+
+let test_pp_all_targets_print () =
+  (* smoke: every bundled program renders without raising *)
+  List.iter
+    (fun p -> ignore (Pp.program_to_string p))
+    ([
+       Achilles_targets.Rw_example.server;
+       Achilles_targets.Rw_example.client;
+       Achilles_targets.Fsp_model.server;
+       Achilles_targets.Pbft_model.client;
+       Achilles_targets.Pbft_model.replica;
+       Achilles_targets.Paxos_model.acceptor;
+       Achilles_targets.Kv_model.server;
+       Achilles_targets.Gossip_model.reporter;
+     ]
+    @ Achilles_targets.Fsp_model.clients ())
+
+(* --- symbolic/concrete consistency (property) ----------------------------------- *)
+
+(* For random concrete inputs, the concrete run of the rw-example client
+   must agree with exactly the symbolic paths whose constraints those
+   inputs satisfy: same decision to send, and identical message bytes. *)
+let qcheck_symbolic_concrete_consistency =
+  let client = Achilles_targets.Rw_example.client in
+  let extraction =
+    lazy
+      (let runs = Interp.run client in
+       List.concat_map
+         (fun (st : State.t) ->
+           List.map
+             (fun (m : State.message) -> (m, List.rev st.State.input_vars))
+             st.State.sent)
+         runs.Interp.terminals)
+  in
+  let gen =
+    QCheck2.Gen.(
+      let* peer = int_range 0 5 in
+      let* op = int_range 0 3 in
+      let* addr = int_range (-200) 200 in
+      let* value = int_range 0 1000 in
+      return (peer, op, addr, value))
+  in
+  QCheck2.Test.make ~name:"symbolic paths cover concrete runs" ~count:60 gen
+    (fun (peer, op, addr, value) ->
+      let inputs =
+        [
+          b8 peer;
+          b8 op;
+          Bv.make ~width:32 (Int64.of_int addr);
+          Bv.make ~width:32 (Int64.of_int value);
+        ]
+      in
+      let concrete = Concrete.run ~inputs client in
+      let messages = Lazy.force extraction in
+      (* bind the path's input variables to the concrete inputs, in the
+         order the client reads them *)
+      let matching =
+        List.filter
+          (fun ((m : State.message), vars) ->
+            let model =
+              List.fold_left2
+                (fun acc var input ->
+                  Model.add_bv var
+                    (Bv.make
+                       ~width:(match var.Term.sort with
+                               | Term.Bitvec w -> w
+                               | Term.Bool -> 1)
+                       (Bv.value input))
+                    acc)
+                Model.empty vars
+                (List.filteri (fun i _ -> i < List.length vars) inputs)
+            in
+            List.length vars <= List.length inputs
+            && Model.satisfies model (List.rev m.State.path_at_send))
+          messages
+      in
+      match concrete.Concrete.sent, matching with
+      | [], [] -> true
+      | [ (_, payload) ], [ (m, vars) ] ->
+          let model =
+            List.fold_left2
+              (fun acc var input ->
+                Model.add_bv var
+                  (Bv.make
+                     ~width:(match var.Term.sort with
+                             | Term.Bitvec w -> w
+                             | Term.Bool -> 1)
+                     (Bv.value input))
+                  acc)
+              Model.empty vars
+              (List.filteri (fun i _ -> i < List.length vars) inputs)
+          in
+          Array.for_all2
+            (fun term concrete_byte ->
+              Bv.equal (Model.eval_bv model term) concrete_byte)
+            m.State.payload payload
+      | _ -> false)
+
+let () =
+  let qsuite name tests =
+    (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
+  in
+  Alcotest.run "symvm"
+    [
+      ( "builder",
+        [ Alcotest.test_case "validation" `Quick test_validate_catches_unknowns ] );
+      ( "concrete",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_concrete_arith;
+          Alcotest.test_case "loop + procedure" `Quick test_concrete_loop_and_proc;
+          Alcotest.test_case "switch" `Quick test_concrete_switch;
+          Alcotest.test_case "step limit" `Quick test_concrete_step_limit;
+          Alcotest.test_case "receive/send" `Quick test_concrete_receive_send;
+          Alcotest.test_case "out-of-bounds" `Quick test_concrete_oob_crashes;
+          Alcotest.test_case "assume" `Quick test_concrete_assume;
+        ] );
+      ( "symbolic",
+        [
+          Alcotest.test_case "forks per branch" `Quick test_symbolic_forks;
+          Alcotest.test_case "infeasible pruning" `Quick
+            test_symbolic_infeasible_branch_not_explored;
+          Alcotest.test_case "unroll bound" `Quick test_symbolic_unroll_bound;
+          Alcotest.test_case "receive = path boundary" `Quick
+            test_symbolic_receive_protocol;
+          Alcotest.test_case "preload then fresh" `Quick
+            test_symbolic_preload_then_fresh;
+          Alcotest.test_case "symbolic store index" `Quick
+            test_symbolic_store_symbolic_index;
+        ] );
+      ( "layout",
+        [ Alcotest.test_case "round trip via DSL" `Quick test_layout_roundtrip_via_dsl ] );
+      ( "pp",
+        [
+          Alcotest.test_case "golden program" `Quick test_pp_golden;
+          Alcotest.test_case "all targets print" `Quick test_pp_all_targets_print;
+        ] );
+      qsuite "consistency"
+        [
+          qcheck_symbolic_concrete_consistency;
+          qcheck_concrete_ops_match_bv;
+          qcheck_symbolic_constant_folding_matches;
+        ];
+    ]
