@@ -587,6 +587,74 @@ let experiment_local_state () =
     "@.  One symbolic run covers what would otherwise need one concrete@.\
     \  analysis per proposal value — the trade-off described in §3.4.@."
 
+(* --- E11: multicore scaling ----------------------------------------------------------------------- *)
+
+let experiment_scaling () =
+  banner "E11: domain-parallel server search — scaling and determinism";
+  let run domains =
+    (* identical starting state for every run so the reports (including
+       fresh-variable ids) are comparable byte for byte *)
+    Solver.reset_all_for_tests ();
+    Term.set_fresh_counter 0;
+    let t0 = Unix.gettimeofday () in
+    let analysis =
+      Achilles.analyze
+        ~search_config:{ fsp_search_config with Search.domains }
+        ~layout:Fsp_model.layout ~clients:(Fsp_model.clients ())
+        ~server:Fsp_model.server ()
+    in
+    (analysis, Unix.gettimeofday () -. t0)
+  in
+  let runs = List.map (fun d -> (d, run d)) [ 1; 2; 4 ] in
+  let _, (_, t1) = List.hd runs in
+  let base_digest =
+    let _, (a, _) = List.hd runs in
+    Report.report_digest a.Achilles.report
+  in
+  Format.printf "  %-8s %10s %10s %9s  %s@." "domains" "total (s)"
+    "server (s)" "speedup" "report digest";
+  let rows =
+    List.map
+      (fun (d, ((analysis : Achilles.analysis), t)) ->
+        let digest = Report.report_digest analysis.Achilles.report in
+        let server = analysis.Achilles.timing.Achilles.server_analysis in
+        Format.printf "  %-8d %10.2f %10.2f %8.2fx  %s%s@." d t server
+          (t1 /. max t 1e-9) digest
+          (if digest = base_digest then "" else "  << MISMATCH");
+        Printf.sprintf "%d,%.4f,%.4f,%.4f,%s" d t server (t1 /. max t 1e-9)
+          digest)
+      runs
+  in
+  let all_equal =
+    List.for_all
+      (fun (_, ((a : Achilles.analysis), _)) ->
+        Report.report_digest a.Achilles.report = base_digest)
+      runs
+  in
+  Format.printf "  reports identical across domain counts: %b@." all_equal;
+  let cores =
+    match Domain.recommended_domain_count () with n when n > 0 -> n | _ -> 1
+  in
+  Format.printf
+    "@.  (speedup is bounded by the machine's cores — this host reports %d;@.\
+    \  on a single-core host the parallel runs only demonstrate determinism@.\
+    \  and pay the sharding spine-replay overhead)@."
+    cores;
+  (* always persist the series, defaulting next to the other figure data *)
+  let saved = !csv_dir in
+  if saved = None then begin
+    (try Unix.mkdir "bench" 0o755
+     with Unix.Unix_error ((Unix.EEXIST | Unix.EPERM), _, _) -> ());
+    csv_dir := Some (Filename.concat "bench" "figures")
+  end;
+  write_csv "scaling.csv" "domains,total_s,server_analysis_s,speedup,digest"
+    rows;
+  csv_dir := saved;
+  if not all_equal then begin
+    Format.eprintf "scaling: reports differ across domain counts@.";
+    exit 1
+  end
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------------------ *)
 
 let bechamel_benchmarks () =
@@ -720,6 +788,7 @@ let experiments =
     ("impact-fsp", experiment_impact_fsp);
     ("impact-pbft", experiment_impact_pbft);
     ("local-state", experiment_local_state);
+    ("scaling", experiment_scaling);
   ]
 
 let () =

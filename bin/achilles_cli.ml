@@ -118,6 +118,17 @@ let no_prune_arg =
   let doc = "Disable no-Trojan state pruning." in
   Arg.(value & flag & info [ "no-prune" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for the server-path search (default: \
+     $(b,ACHILLES_DOMAINS) or 1). Any value produces the same report, \
+     modulo wall-clock timings."
+  in
+  Arg.(
+    value
+    & opt int Search.default_config.Search.domains
+    & info [ "domains"; "j" ] ~docv:"N" ~doc)
+
 let verbose_arg =
   let doc = "Also print the symbolic Trojan expressions." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
@@ -145,7 +156,7 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the bundled target systems")
     Term.(const run $ const ())
 
-let analyze name mask witnesses no_drop no_df no_prune verbose explain =
+let analyze name mask witnesses no_drop no_df no_prune verbose explain domains =
   match find_target name with
   | Error e ->
       Format.eprintf "%s@." e;
@@ -162,6 +173,7 @@ let analyze name mask witnesses no_drop no_df no_prune verbose explain =
           Search.prune_no_trojan = not no_prune;
           Search.explain_drops = explain;
           Search.interp = target.interp;
+          Search.domains = domains;
         }
       in
       let analysis =
@@ -197,7 +209,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Search a target system for Trojan messages")
     Term.(
       const analyze $ target_arg $ mask_arg $ witnesses_arg $ no_drop_arg
-      $ no_df_arg $ no_prune_arg $ verbose_arg $ explain_arg)
+      $ no_df_arg $ no_prune_arg $ verbose_arg $ explain_arg $ domains_arg)
 
 let predicate name =
   match find_target name with

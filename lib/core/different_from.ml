@@ -31,6 +31,24 @@ let check_pair ~layout field_name (pi : Predicate.client_path)
       in
       Solver.is_sat (Term.eq x value_i :: negation :: constraints_i)
 
+(* Number of fresh variables [check_pair ~layout field_name _ pj] allocates:
+   the probe [x], plus — when [negate_field] reaches its renaming case —
+   one copy of each distinct variable in [pj]'s field value and its related
+   constraints. Computed from the same inputs so the parallel path can pin
+   each check's fresh-counter slot without running it. *)
+let check_allocs ~layout field_name (pj : Predicate.client_path) =
+  let value = Layout.field_term layout pj.Predicate.message field_name in
+  match Term.const_value value with
+  | Some _ -> 1
+  | None -> (
+      match Negate.related_constraints pj (Term.var_ids value) with
+      | [] -> 1
+      | constraints ->
+          1
+          + List.length
+              (List.sort_uniq compare
+                 (List.concat_map Term.var_ids (value :: constraints))))
+
 (* Alpha-canonical signature of a path's field: the field value term plus
    its related constraints with variables renamed to their order of first
    occurrence. Client utilities built from the same code produce identical
@@ -41,41 +59,86 @@ let field_signature ~layout field_name (p : Predicate.client_path) =
   let constraints = Negate.related_constraints p (Term.var_ids value) in
   Term.alpha_key (value :: constraints)
 
-let compute ?(memoize = true) ?mask (pc : Predicate.client_predicate) =
+let compute ?(memoize = true) ?mask ?pool (pc : Predicate.client_predicate) =
   let t0 = Unix.gettimeofday () in
   let layout = pc.Predicate.layout in
   let fields = Predicate.independent_fields ?mask pc in
   let paths = Array.of_list pc.Predicate.paths in
   let n = Array.length paths in
-  let pairs_checked = ref 0 in
-  let matrix =
+  (* One pass in the (field, row-major cell) iteration order collects the
+     representative pair of every distinct memo key; each representative
+     becomes one solver check. The sequential path below and the parallel
+     path agree on this order, and [check_allocs] predicts how many fresh
+     variables each check consumes, so pinning check [k]'s fresh counter to
+     [base] plus the allocations of checks [0..k-1] on whichever domain
+     runs it reproduces the sequential variable ids exactly. *)
+  let checks = ref [] (* representatives, newest first *) in
+  let n_checks = ref 0 in
+  let plan =
     List.map
       (fun field_name ->
         let signature =
           Array.map (fun p -> field_signature ~layout field_name p) paths
         in
-        let memo : (string * string, bool) Hashtbl.t = Hashtbl.create 64 in
-        let cells = Array.make (n * n) false in
+        let memo : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
+        (* cell -> index of the check deciding it; -1 on the diagonal *)
+        let cell_check = Array.make (n * n) (-1) in
         for i = 0 to n - 1 do
           for j = 0 to n - 1 do
             if i <> j then begin
               let key = (signature.(i), signature.(j)) in
-              let result =
+              let check =
                 match if memoize then Hashtbl.find_opt memo key else None with
-                | Some r -> r
+                | Some k -> k
                 | None ->
-                    incr pairs_checked;
-                    let r = check_pair ~layout field_name paths.(i) paths.(j) in
-                    if memoize then Hashtbl.replace memo key r;
-                    r
+                    let k = !n_checks in
+                    n_checks := k + 1;
+                    checks := (field_name, i, j) :: !checks;
+                    if memoize then Hashtbl.replace memo key k;
+                    k
               in
-              cells.((i * n) + j) <- result
+              cell_check.((i * n) + j) <- check
             end
           done
         done;
-        (field_name, cells))
+        (field_name, cell_check))
       fields
   in
+  let checks = Array.of_list (List.rev !checks) in
+  let base = Term.fresh_counter_value () in
+  let results =
+    match pool with
+    | None ->
+        Array.map
+          (fun (field_name, i, j) ->
+            check_pair ~layout field_name paths.(i) paths.(j))
+          checks
+    | Some pool ->
+        let offsets = Array.make (Array.length checks + 1) 0 in
+        Array.iteri
+          (fun k (field_name, _i, j) ->
+            offsets.(k + 1) <-
+              offsets.(k) + check_allocs ~layout field_name paths.(j))
+          checks;
+        let results =
+          Pool.parallel_map pool
+            (fun k ->
+              let field_name, i, j = checks.(k) in
+              Term.set_fresh_counter (base + offsets.(k));
+              check_pair ~layout field_name paths.(i) paths.(j))
+            (Array.init (Array.length checks) Fun.id)
+        in
+        Term.set_fresh_counter (base + offsets.(Array.length checks));
+        results
+  in
+  let matrix =
+    List.map
+      (fun (field_name, cell_check) ->
+        ( field_name,
+          Array.map (fun k -> k >= 0 && results.(k)) cell_check ))
+      plan
+  in
+  let pairs_checked = ref (Array.length checks) in
   let t = { layout; fields; n_paths = n; matrix } in
   let stats =
     {

@@ -22,11 +22,21 @@ type stats = {
 }
 
 val compute :
-  ?memoize:bool -> ?mask:string list -> Predicate.client_predicate -> t * stats
+  ?memoize:bool ->
+  ?mask:string list ->
+  ?pool:Pool.t ->
+  Predicate.client_predicate ->
+  t * stats
 (** [memoize] (default [true]) caches pair checks on alpha-canonical
     (value, constraints) signatures — structurally identical client paths
     from different utilities share one solver call. Disable it to measure
-    the paper's raw quadratic precomputation cost. *)
+    the paper's raw quadratic precomputation cost.
+
+    [pool] distributes the (deduplicated) pair checks over worker domains.
+    The result — matrix, [pairs_checked], and even the fresh-variable ids
+    consumed — is identical to the sequential computation: representatives
+    are fixed in the sequential iteration order and each check replays a
+    pinned fresh-counter slot on whichever domain runs it. *)
 
 val covers_field : t -> string -> bool
 val different : t -> i:int -> j:int -> field:string -> bool

@@ -1,0 +1,183 @@
+(* A fixed-size domain pool with per-worker work-stealing deques.
+
+   Tasks are coarse (a whole route shard of the server search), so a single
+   pool-wide mutex around the deques is plenty: contention is a handful of
+   lock acquisitions per task, nothing against the seconds of solver work
+   inside one. Workers pop their own deque newest-first (LIFO keeps a
+   worker on the subtree it just split) and steal oldest-first from their
+   siblings (FIFO takes the biggest remaining chunk). *)
+
+module Deque = struct
+  type 'a t = {
+    mutable front : 'a list; (* oldest first *)
+    mutable back : 'a list; (* newest first *)
+  }
+
+  let create () = { front = []; back = [] }
+  let push_back d x = d.back <- x :: d.back
+
+  let pop_back d =
+    match d.back with
+    | x :: rest ->
+        d.back <- rest;
+        Some x
+    | [] -> (
+        match List.rev d.front with
+        | [] -> None
+        | x :: rest ->
+            (* [x] is the newest of [front]; keep the rest as the new back *)
+            d.front <- [];
+            d.back <- rest;
+            Some x)
+
+  let pop_front d =
+    match d.front with
+    | x :: rest ->
+        d.front <- rest;
+        Some x
+    | [] -> (
+        match List.rev d.back with
+        | [] -> None
+        | x :: rest ->
+            d.front <- rest;
+            d.back <- [];
+            Some x)
+end
+
+type task = { run : unit -> unit; index : int }
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t; (* workers sleep here waiting for tasks *)
+  batch_done : Condition.t; (* the submitter sleeps here *)
+  deques : task Deque.t array;
+  mutable outstanding : int;
+  mutable in_flight : bool;
+  mutable failure : (int * exn * Printexc.raw_backtrace) option;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let size p = p.size
+
+(* Called with [p.mutex] held. *)
+let find_task p w =
+  match Deque.pop_back p.deques.(w) with
+  | Some t -> Some t
+  | None ->
+      let rec steal k =
+        if k = p.size then None
+        else
+          match Deque.pop_front p.deques.((w + k) mod p.size) with
+          | Some t -> Some t
+          | None -> steal (k + 1)
+      in
+      steal 1
+
+let record_failure p index exn bt =
+  match p.failure with
+  | Some (i, _, _) when i <= index -> ()
+  | _ -> p.failure <- Some (index, exn, bt)
+
+let worker_loop p w =
+  Mutex.lock p.mutex;
+  let rec loop () =
+    if p.stopping then Mutex.unlock p.mutex
+    else
+      match find_task p w with
+      | None ->
+          Condition.wait p.work_ready p.mutex;
+          loop ()
+      | Some task ->
+          Mutex.unlock p.mutex;
+          let failed =
+            try
+              task.run ();
+              None
+            with exn -> Some (exn, Printexc.get_raw_backtrace ())
+          in
+          Mutex.lock p.mutex;
+          (match failed with
+          | Some (exn, bt) -> record_failure p task.index exn bt
+          | None -> ());
+          p.outstanding <- p.outstanding - 1;
+          if p.outstanding = 0 then Condition.broadcast p.batch_done;
+          loop ()
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: need at least one domain";
+  let p =
+    {
+      size = domains;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      deques = Array.init domains (fun _ -> Deque.create ());
+      outstanding = 0;
+      in_flight = false;
+      failure = None;
+      stopping = false;
+      workers = [||];
+    }
+  in
+  p.workers <- Array.init domains (fun w -> Domain.spawn (fun () -> worker_loop p w));
+  p
+
+let run_tasks p fs =
+  let n = Array.length fs in
+  if n = 0 then ()
+  else begin
+    Mutex.lock p.mutex;
+    if p.stopping then begin
+      Mutex.unlock p.mutex;
+      invalid_arg "Pool.run_tasks: pool is shut down"
+    end;
+    if p.in_flight then begin
+      Mutex.unlock p.mutex;
+      invalid_arg "Pool.run_tasks: a batch is already in flight"
+    end;
+    p.in_flight <- true;
+    p.failure <- None;
+    Array.iteri
+      (fun i run -> Deque.push_back p.deques.(i mod p.size) { run; index = i })
+      fs;
+    p.outstanding <- n;
+    Condition.broadcast p.work_ready;
+    while p.outstanding > 0 do
+      Condition.wait p.batch_done p.mutex
+    done;
+    let failure = p.failure in
+    p.failure <- None;
+    p.in_flight <- false;
+    Mutex.unlock p.mutex;
+    match failure with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
+  end
+
+let parallel_map p f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    run_tasks p (Array.init n (fun i () -> results.(i) <- Some (f arr.(i))));
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let shutdown p =
+  Mutex.lock p.mutex;
+  if p.stopping then Mutex.unlock p.mutex
+  else begin
+    p.stopping <- true;
+    Condition.broadcast p.work_ready;
+    Mutex.unlock p.mutex;
+    Array.iter Domain.join p.workers;
+    p.workers <- [||]
+  end
+
+let with_pool ~domains f =
+  let p = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)

@@ -1,0 +1,39 @@
+(** A fixed-size pool of domains with per-worker work-stealing deques.
+
+    Built for the parallel Trojan search: batches of coarse-grained tasks
+    (one route shard of the server exploration each) are distributed across
+    the workers' deques; a worker runs its own deque newest-first and steals
+    oldest-first from its siblings when it runs dry. Tasks must not submit
+    further batches themselves — one batch is in flight at a time, submitted
+    from (and awaited by) a single coordinating domain.
+
+    Determinism: {!parallel_map} places results by task index, so the output
+    never depends on which worker ran which task or in what order tasks
+    finished. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn a pool of [domains] worker domains (at least 1; this is the number
+    of workers, the coordinating domain does not run tasks). Raises
+    [Invalid_argument] for [domains < 1]. *)
+
+val size : t -> int
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Apply [f] to every element, tasks distributed over the pool; result [i]
+    is [f arr.(i)]. Blocks until the whole batch has finished. If any task
+    raised, the exception of the lowest-indexed failing task is re-raised
+    here (with its backtrace) — after the batch has drained, so the pool
+    stays usable. Raises [Invalid_argument] if the pool is shut down or a
+    batch is already in flight. *)
+
+val run_tasks : t -> (unit -> unit) array -> unit
+(** [parallel_map] for effectful tasks without results. *)
+
+val shutdown : t -> unit
+(** Stop the workers and join their domains. Idempotent. Must not be called
+    while a batch is in flight. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run, and [shutdown] (also on exceptions). *)

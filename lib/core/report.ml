@@ -83,6 +83,76 @@ let render_ascii_curve ?(width = 60) ?(height = 12) points =
         (Printf.sprintf "        0%*s%.2f\n" (width - 6) "" xmax);
       Buffer.contents buf
 
+(* --- deterministic digests ------------------------------------------------- *)
+
+let hex_of_witness witness =
+  String.concat ""
+    (Array.to_list
+       (Array.map (fun b -> Printf.sprintf "%02Lx" (Bv.value b)) witness))
+
+let add_trojan buf (t : Search.trojan) =
+  Buffer.add_string buf
+    (Printf.sprintf "T %d %s %s |" t.Search.server_state_id
+       t.Search.accept_label
+       (hex_of_witness t.Search.witness));
+  List.iter
+    (fun term -> Buffer.add_string buf (Term.to_string term ^ ";"))
+    t.Search.symbolic;
+  Buffer.add_string buf "|";
+  Array.iter
+    (fun (v : Term.var) ->
+      Buffer.add_string buf (Printf.sprintf "%s#%d," v.Term.name v.Term.id))
+    t.Search.msg_vars;
+  Buffer.add_char buf '\n'
+
+let discovery_digest (r : Search.report) =
+  let buf = Buffer.create 4096 in
+  List.iter (add_trojan buf) r.Search.trojans;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let alive_digest (stats : Search.stats) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (s : Search.alive_sample) ->
+      Buffer.add_string buf
+        (Printf.sprintf "A %d %d %d\n" s.Search.state_id s.Search.path_length
+           s.Search.alive))
+    stats.Search.alive_samples;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let report_digest (r : Search.report) =
+  let buf = Buffer.create 8192 in
+  List.iter (add_trojan buf) r.Search.trojans;
+  List.iter
+    (fun (sp : Predicate.server_path) ->
+      Buffer.add_string buf
+        (Printf.sprintf "P %d %s |" sp.Predicate.sp_state_id
+           sp.Predicate.label);
+      List.iter
+        (fun term -> Buffer.add_string buf (Term.to_string term ^ ";"))
+        sp.Predicate.sp_constraints;
+      Buffer.add_char buf '\n')
+    r.Search.accepting;
+  (* drop events are part of the digest; their unsat-core contents are not
+     (cores depend on solver history, see Search's multicore notes) *)
+  List.iter
+    (fun (d : Search.drop_explanation) ->
+      Buffer.add_string buf
+        (Printf.sprintf "D %d %d\n" d.Search.at_state d.Search.dropped_path))
+    r.Search.drops;
+  let s = r.Search.search_stats in
+  Buffer.add_string buf
+    (Printf.sprintf "S %d %d %d %d %d %d %d\n" s.Search.accepting_paths
+       s.Search.rejecting_paths s.Search.other_paths s.Search.pruned_states
+       s.Search.forks s.Search.alive_checks s.Search.transitive_drops);
+  List.iter
+    (fun (a : Search.alive_sample) ->
+      Buffer.add_string buf
+        (Printf.sprintf "A %d %d %d\n" a.Search.state_id a.Search.path_length
+           a.Search.alive))
+    s.Search.alive_samples;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 (* --- grammar summaries ---------------------------------------------------- *)
 
 type field_summary =

@@ -22,6 +22,27 @@ val render_ascii_curve :
   ?width:int -> ?height:int -> (float * float) list -> string
 (** A small ASCII plot for terminal output of the benchmark harness. *)
 
+(** {1 Deterministic digests}
+
+    MD5 hex digests of canonical renderings that exclude every wall-clock
+    field ([found_at], [wall_time]) and the history-dependent unsat-core
+    contents of drop explanations. Two searches of the same client/server
+    pair produce equal digests exactly when their reports agree on all
+    deterministic content — the equality the multicore search guarantees
+    across any [domains] setting, and what the golden tests and the CI
+    matrix pin. *)
+
+val report_digest : Search.report -> string
+(** Trojans (state id, label, witness bytes, symbolic expression, message
+    variables), accepting server paths, drop events (sans cores), counter
+    stats, and alive samples. *)
+
+val discovery_digest : Search.report -> string
+(** Only the discovery series of Figure 10: the ordered trojan list. *)
+
+val alive_digest : Search.stats -> string
+(** Only the alive-sample rows behind Figure 11. *)
+
 (** {1 Grammar summaries}
 
     A human-readable digest of the extracted client predicate, in the

@@ -18,7 +18,17 @@ type config = {
   witnesses_per_path : int;
   distinct_by : (Bv.t array -> Term.var array -> Term.t) option;
   interp : Interp.config;
+  domains : int;
+  split_bits : int option;
 }
+
+let domains_from_env () =
+  match Sys.getenv_opt "ACHILLES_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+  | None -> 1
 
 let default_config =
   {
@@ -32,6 +42,8 @@ let default_config =
     witnesses_per_path = 1;
     distinct_by = None;
     interp = Interp.default_config;
+    domains = domains_from_env ();
+    split_bits = None;
   }
 
 type trojan = {
@@ -70,6 +82,72 @@ type report = {
   search_stats : stats;
 }
 
+(* --- parallel-mode event log ----------------------------------------------
+
+   A shard worker cannot use sequential state ids (each task numbers its own
+   states), so instead of filling the report directly it logs every
+   observation keyed by the state's route. Only the shard that *owns* a
+   state records it, so the merge is a concatenation — no deduplication —
+   sorted by route, with ids rewritten to the lexicographic rank of the
+   route, which equals the id the sequential depth-first run would have
+   assigned. *)
+
+type cevent = {
+  (* one per recorded constraint on a message-constrained state *)
+  ce_route : string;
+  ce_plen : int;
+  ce_alive : int;
+  ce_checks : int;
+  ce_transitive : int;
+  ce_pruned : bool;
+}
+
+type wtrojan = {
+  wt_route : string;
+  wt_idx : int; (* enumeration index within the accepting state *)
+  wt_label : string;
+  wt_witness : Bv.t array;
+  wt_symbolic : Term.t list;
+  wt_msg_vars : Term.var array;
+  wt_found_at : float;
+}
+
+type waccept = {
+  wa_route : string;
+  wa_label : string;
+  wa_msg_vars : Term.var array;
+  wa_constraints : Term.t list;
+}
+
+type wdrop = {
+  wd_route : string;
+  wd_plen : int;
+  wd_ord : int; (* position within the constraint event *)
+  wd_path : int;
+  wd_conflicting : Term.t list;
+}
+
+type recorder = {
+  mutable rec_routes : string list; (* owned fork children *)
+  mutable rec_cevents : cevent list;
+  mutable rec_terminals : (string * State.status) list;
+  mutable rec_trojans : wtrojan list;
+  mutable rec_accepting : waccept list;
+  mutable rec_drops : wdrop list;
+  mutable rec_forks : int;
+}
+
+let fresh_recorder () =
+  {
+    rec_routes = [];
+    rec_cevents = [];
+    rec_terminals = [];
+    rec_trojans = [];
+    rec_accepting = [];
+    rec_drops = [];
+    rec_forks = 0;
+  }
+
 (* Mutable search context shared by the interpreter hooks. *)
 type search_ctx = {
   cfg : config;
@@ -81,6 +159,8 @@ type search_ctx = {
   sessions : (int, Solver.Incremental.session) Hashtbl.t;
       (* client idx -> incremental session with the binding asserted *)
   negations : (int, Term.t) Hashtbl.t; (* client idx -> negate(pathCi) *)
+  shard : Interp.shard option; (* the route shard this worker explores *)
+  recorder : recorder option; (* event log target (parallel mode only) *)
   mutable server_vars : Term.var array option;
   mutable field_var_ids : (string * int list) list; (* server var ids per field *)
   mutable trojans_rev : trojan list;
@@ -97,6 +177,26 @@ type search_ctx = {
 }
 
 let all_indices ctx = List.init (Array.length ctx.paths) Fun.id
+
+(* Does this worker record observations for this state? Sequential runs
+   record everything; a shard worker records only the states it owns. *)
+let records ctx (st : State.t) =
+  match ctx.shard with
+  | None -> true
+  | Some sh -> Interp.shard_owns sh st.State.route
+
+let negation_for ctx idx =
+  match Hashtbl.find_opt ctx.negations idx with
+  | Some n -> n
+  | None ->
+      let server_vars = Option.get ctx.server_vars in
+      let n =
+        Negate.negate_path ~check_overlap:ctx.cfg.check_overlap
+          ?mask:ctx.cfg.mask ~layout:ctx.client.Predicate.layout ~server_vars
+          ctx.paths.(idx)
+      in
+      Hashtbl.replace ctx.negations idx n;
+      n
 
 let setup_server_vars ctx vars =
   match ctx.server_vars with
@@ -116,7 +216,14 @@ let setup_server_vars ctx vars =
                   vars.(f.Layout.offset + i).Term.id)
             in
             (f.Layout.field_name, List.sort compare ids))
-          (Layout.fields layout)
+          (Layout.fields layout);
+      (* Build every per-path negation now, in path order. Negation builds
+         allocate fresh (primed) variables; doing all of them at the first
+         message-constrained state — a point every shard passes with the
+         same fresh counter — gives the primed variables identical ids in
+         every shard and in the sequential run, whichever state a worker
+         happens to need one for first. *)
+      List.iter (fun i -> ignore (negation_for ctx i)) (all_indices ctx)
 
 let binding_for ctx idx =
   match Hashtbl.find_opt ctx.bindings idx with
@@ -141,19 +248,6 @@ let binding_incompatible ctx idx (st : State.t) =
   if ctx.cfg.incremental_bindings then
     Solver.Incremental.is_unsat (session_for ctx idx) st.State.path
   else Solver.is_unsat (List.rev_append st.State.path (binding_for ctx idx))
-
-let negation_for ctx idx =
-  match Hashtbl.find_opt ctx.negations idx with
-  | Some n -> n
-  | None ->
-      let server_vars = Option.get ctx.server_vars in
-      let n =
-        Negate.negate_path ~check_overlap:ctx.cfg.check_overlap
-          ?mask:ctx.cfg.mask ~layout:ctx.client.Predicate.layout ~server_vars
-          ctx.paths.(idx)
-      in
-      Hashtbl.replace ctx.negations idx n;
-      n
 
 let alive_for ctx (st : State.t) =
   match Hashtbl.find_opt ctx.alive st.State.id with
@@ -187,6 +281,8 @@ let on_constraint ctx (st : State.t) cond =
   | None -> true (* constraints before the message arrives: nothing to do *)
   | Some vars ->
       setup_server_vars ctx vars;
+      let recording = records ctx st in
+      let checks_here = ref 0 and transitive_here = ref 0 and drop_ord = ref 0 in
       let alive = alive_for ctx st in
       let alive =
         if not ctx.cfg.drop_alive then alive
@@ -207,7 +303,7 @@ let on_constraint ctx (st : State.t) cond =
                       && not (Different_from.different df ~i:j ~j:i ~field:a)
                     then begin
                       Hashtbl.replace dropped j ();
-                      ctx.n_transitive <- ctx.n_transitive + 1
+                      incr transitive_here
                     end)
                   (all_indices ctx)
             | _ -> ()
@@ -215,19 +311,35 @@ let on_constraint ctx (st : State.t) cond =
           List.iter
             (fun i ->
               if not (Hashtbl.mem dropped i) then begin
-                ctx.n_alive_checks <- ctx.n_alive_checks + 1;
+                incr checks_here;
                 if binding_incompatible ctx i st then begin
-                  if ctx.cfg.explain_drops && ctx.cfg.incremental_bindings
+                  if
+                    recording && ctx.cfg.explain_drops
+                    && ctx.cfg.incremental_bindings
                   then begin
                     match Solver.Incremental.unsat_core (session_for ctx i) with
-                    | Some conflicting ->
-                        ctx.drops_rev <-
-                          {
-                            at_state = st.State.id;
-                            dropped_path = i;
-                            conflicting;
-                          }
-                          :: ctx.drops_rev
+                    | Some conflicting -> (
+                        let plen = List.length st.State.path in
+                        match ctx.recorder with
+                        | None ->
+                            ctx.drops_rev <-
+                              {
+                                at_state = st.State.id;
+                                dropped_path = i;
+                                conflicting;
+                              }
+                              :: ctx.drops_rev
+                        | Some r ->
+                            r.rec_drops <-
+                              {
+                                wd_route = st.State.route;
+                                wd_plen = plen;
+                                wd_ord = !drop_ord;
+                                wd_path = i;
+                                wd_conflicting = conflicting;
+                              }
+                              :: r.rec_drops);
+                        incr drop_ord
                     | None -> ()
                   end;
                   Hashtbl.replace dropped i ();
@@ -238,24 +350,52 @@ let on_constraint ctx (st : State.t) cond =
           List.filter (fun i -> not (Hashtbl.mem dropped i)) alive
         end
       in
+      ctx.n_alive_checks <- ctx.n_alive_checks + !checks_here;
+      ctx.n_transitive <- ctx.n_transitive + !transitive_here;
       Hashtbl.replace ctx.alive st.State.id alive;
-      ctx.samples_rev <-
-        {
-          state_id = st.State.id;
-          path_length = List.length st.State.path;
-          alive = List.length alive;
-        }
-        :: ctx.samples_rev;
-      if not ctx.cfg.prune_no_trojan then true
-      else begin
-        let feasible = Solver.is_sat (trojan_query ctx st alive) in
-        if not feasible then ctx.n_pruned <- ctx.n_pruned + 1;
-        feasible
-      end
+      let pruned =
+        ctx.cfg.prune_no_trojan
+        && not (Solver.is_sat (trojan_query ctx st alive))
+      in
+      if pruned then ctx.n_pruned <- ctx.n_pruned + 1;
+      if recording then begin
+        let plen = List.length st.State.path in
+        let n_alive = List.length alive in
+        match ctx.recorder with
+        | None ->
+            ctx.samples_rev <-
+              { state_id = st.State.id; path_length = plen; alive = n_alive }
+              :: ctx.samples_rev
+        | Some r ->
+            r.rec_cevents <-
+              {
+                ce_route = st.State.route;
+                ce_plen = plen;
+                ce_alive = n_alive;
+                ce_checks = !checks_here;
+                ce_transitive = !transitive_here;
+                ce_pruned = pruned;
+              }
+              :: r.rec_cevents
+      end;
+      not pruned
 
 let on_fork ctx ~parent ~child =
   let alive = alive_for ctx parent in
-  Hashtbl.replace ctx.alive child.State.id alive
+  Hashtbl.replace ctx.alive child.State.id alive;
+  match ctx.recorder, ctx.shard with
+  | Some r, Some sh ->
+      let croute = child.State.route in
+      if Interp.shard_owns sh croute then r.rec_routes <- croute :: r.rec_routes;
+      (* count each two-sided fork once: at its '0' child, by the parent's
+         owner (who always explores that child) *)
+      let clen = String.length croute in
+      if
+        clen > 0
+        && croute.[clen - 1] = '0'
+        && Interp.shard_owns sh parent.State.route
+      then r.rec_forks <- r.rec_forks + 1
+  | _ -> ()
 
 let witness_of_model vars model =
   Array.map
@@ -275,14 +415,25 @@ let emit_trojans ctx (st : State.t) label =
       setup_server_vars ctx vars;
       let alive = alive_for ctx st in
       let base_query = trojan_query ctx st alive in
-      ctx.accepting_rev <-
-        {
-          Predicate.sp_state_id = st.State.id;
-          label;
-          msg_vars = vars;
-          sp_constraints = List.rev st.State.path;
-        }
-        :: ctx.accepting_rev;
+      (match ctx.recorder with
+      | None ->
+          ctx.accepting_rev <-
+            {
+              Predicate.sp_state_id = st.State.id;
+              label;
+              msg_vars = vars;
+              sp_constraints = List.rev st.State.path;
+            }
+            :: ctx.accepting_rev
+      | Some r ->
+          r.rec_accepting <-
+            {
+              wa_route = st.State.route;
+              wa_label = label;
+              wa_msg_vars = vars;
+              wa_constraints = List.rev st.State.path;
+            }
+            :: r.rec_accepting);
       let block witness =
         match ctx.cfg.distinct_by with
         | Some f -> f witness vars
@@ -301,16 +452,31 @@ let emit_trojans ctx (st : State.t) label =
           | None -> ()
           | Some model ->
               let witness = witness_of_model vars model in
-              ctx.trojans_rev <-
-                {
-                  server_state_id = st.State.id;
-                  accept_label = label;
-                  witness;
-                  symbolic = base_query;
-                  msg_vars = vars;
-                  found_at = Unix.gettimeofday () -. ctx.started;
-                }
-                :: ctx.trojans_rev;
+              let found_at = Unix.gettimeofday () -. ctx.started in
+              (match ctx.recorder with
+              | None ->
+                  ctx.trojans_rev <-
+                    {
+                      server_state_id = st.State.id;
+                      accept_label = label;
+                      witness;
+                      symbolic = base_query;
+                      msg_vars = vars;
+                      found_at;
+                    }
+                    :: ctx.trojans_rev
+              | Some r ->
+                  r.rec_trojans <-
+                    {
+                      wt_route = st.State.route;
+                      wt_idx = n;
+                      wt_label = label;
+                      wt_witness = witness;
+                      wt_symbolic = base_query;
+                      wt_msg_vars = vars;
+                      wt_found_at = found_at;
+                    }
+                    :: r.rec_trojans);
               enumerate (block witness :: blocked) (n + 1)
       in
       enumerate [] 0
@@ -339,53 +505,66 @@ let minimize_witness (t : trojan) =
   current
 
 let on_terminal ctx (st : State.t) =
-  match st.State.status with
-  | State.Accepted label ->
-      ctx.n_accepting <- ctx.n_accepting + 1;
-      emit_trojans ctx st label
-  | State.Rejected _ | State.Finished ->
-      (* per §5.1, a server path that returns to the event loop without
-         accepting rejected its message *)
-      ctx.n_rejecting <- ctx.n_rejecting + 1
-  | State.Dropped | State.Crashed _ -> ctx.n_other <- ctx.n_other + 1
-  | State.Running -> ()
+  if records ctx st then begin
+    (match ctx.recorder with
+    | Some r when st.State.status <> State.Running ->
+        r.rec_terminals <- (st.State.route, st.State.status) :: r.rec_terminals
+    | _ -> ());
+    match st.State.status with
+    | State.Accepted label ->
+        ctx.n_accepting <- ctx.n_accepting + 1;
+        emit_trojans ctx st label
+    | State.Rejected _ | State.Finished ->
+        (* per §5.1, a server path that returns to the event loop without
+           accepting rejected its message *)
+        ctx.n_rejecting <- ctx.n_rejecting + 1
+    | State.Dropped | State.Crashed _ -> ctx.n_other <- ctx.n_other + 1
+    | State.Running -> ()
+  end
 
-let run ?(config = default_config) ?different_from ~client ~server () =
-  let started = Unix.gettimeofday () in
+let make_ctx ~config ~client ~different_from ~shard ~recorder ~started =
+  {
+    cfg = config;
+    client;
+    paths = Array.of_list client.Predicate.paths;
+    different_from;
+    alive = Hashtbl.create 256;
+    bindings = Hashtbl.create 64;
+    sessions = Hashtbl.create 64;
+    negations = Hashtbl.create 64;
+    shard;
+    recorder;
+    server_vars = None;
+    field_var_ids = [];
+    trojans_rev = [];
+    accepting_rev = [];
+    samples_rev = [];
+    drops_rev = [];
+    n_accepting = 0;
+    n_rejecting = 0;
+    n_other = 0;
+    n_pruned = 0;
+    n_alive_checks = 0;
+    n_transitive = 0;
+    started;
+  }
+
+let hooks_of ctx =
+  {
+    Interp.on_constraint = (fun st c -> on_constraint ctx st c);
+    Interp.on_fork = (fun ~parent ~child -> on_fork ctx ~parent ~child);
+    Interp.on_send = (fun _ _ -> ());
+    Interp.on_terminal = (fun st -> on_terminal ctx st);
+  }
+
+(* --- sequential mode ------------------------------------------------------- *)
+
+let run_sequential ~config ~different_from ~client ~server ~started =
   let ctx =
-    {
-      cfg = config;
-      client;
-      paths = Array.of_list client.Predicate.paths;
-      different_from;
-      alive = Hashtbl.create 256;
-      bindings = Hashtbl.create 64;
-      sessions = Hashtbl.create 64;
-      negations = Hashtbl.create 64;
-      server_vars = None;
-      field_var_ids = [];
-      trojans_rev = [];
-      accepting_rev = [];
-      samples_rev = [];
-      drops_rev = [];
-      n_accepting = 0;
-      n_rejecting = 0;
-      n_other = 0;
-      n_pruned = 0;
-      n_alive_checks = 0;
-      n_transitive = 0;
-      started;
-    }
+    make_ctx ~config ~client ~different_from ~shard:None ~recorder:None
+      ~started
   in
-  let hooks =
-    {
-      Interp.on_constraint = (fun st c -> on_constraint ctx st c);
-      Interp.on_fork = (fun ~parent ~child -> on_fork ctx ~parent ~child);
-      Interp.on_send = (fun _ _ -> ());
-      Interp.on_terminal = (fun st -> on_terminal ctx st);
-    }
-  in
-  let run_result = Interp.run ~config:config.interp ~hooks server in
+  let run_result = Interp.run ~config:config.interp ~hooks:(hooks_of ctx) server in
   let stats =
     {
       accepting_paths = ctx.n_accepting;
@@ -405,3 +584,171 @@ let run ?(config = default_config) ?different_from ~client ~server () =
     drops = List.rev ctx.drops_rev;
     search_stats = stats;
   }
+
+(* --- parallel mode ---------------------------------------------------------
+
+   The exploration tree is split into 2^split_bits route shards; each shard
+   is one task on a pool of [domains] workers. A task replays the shared
+   spine (routes shorter than split_bits) and exclusively explores — and
+   records — the subtrees matching its bit pattern, with its domain-local
+   solver state and its fresh-variable counter reset to the pre-search
+   base, so every variable (message bytes, negation primes) gets the same
+   id it gets sequentially. The merge concatenates the disjoint event logs,
+   sorts them by route (lexicographic route order = sequential depth-first
+   creation order), and renumbers state ids by route rank; everything
+   except wall-clock timestamps is bit-identical to the sequential run. *)
+
+module String_set = Set.Make (String)
+
+let ceil_log2 n =
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  go 0
+
+let split_bits_of config =
+  match config.split_bits with
+  | Some b ->
+      if b < 0 || b > 16 then invalid_arg "Search: split_bits out of [0,16]";
+      b
+  | None -> min 8 (ceil_log2 config.domains + 2)
+
+let run_parallel ~config ~different_from ~client ~server ~started =
+  let bits = split_bits_of config in
+  let n_tasks = 1 lsl bits in
+  let base = Term.fresh_counter_value () in
+  let task idx =
+    let shard = { Interp.shard_index = idx; Interp.shard_bits = bits } in
+    (* replay the sequential fresh-variable id sequence inside this shard *)
+    Term.set_fresh_counter base;
+    let recorder = fresh_recorder () in
+    let ctx =
+      make_ctx ~config ~client ~different_from ~shard:(Some shard)
+        ~recorder:(Some recorder) ~started
+    in
+    let iconfig = { config.interp with Interp.shard = Some shard } in
+    ignore (Interp.run ~config:iconfig ~hooks:(hooks_of ctx) server);
+    (recorder, Term.fresh_counter_value ())
+  in
+  let outs =
+    Pool.with_pool ~domains:config.domains (fun pool ->
+        Pool.parallel_map pool task (Array.init n_tasks Fun.id))
+  in
+  (* keep the coordinating domain's counter ahead of every id any worker
+     allocated, so later analyses cannot reuse ids live in this report *)
+  let top = Array.fold_left (fun acc (_, c) -> max acc c) base outs in
+  Term.set_fresh_counter (max top (Term.fresh_counter_value ()));
+  let outs = Array.to_list outs in
+  (* Sequential ids are assigned in depth-first creation order, and the
+     interpreter forks true-branch first, so creation order is exactly the
+     lexicographic order of routes. Rank = sequential id. *)
+  let routes =
+    List.fold_left
+      (fun acc (r, _) ->
+        List.fold_left (fun a rt -> String_set.add rt a) acc r.rec_routes)
+      (String_set.singleton "") outs
+  in
+  let rank_of = Hashtbl.create (String_set.cardinal routes) in
+  let next = ref 0 in
+  String_set.iter
+    (fun r ->
+      Hashtbl.replace rank_of r !next;
+      incr next)
+    routes;
+  let rank r = Hashtbl.find rank_of r in
+  let by_route_then key_cmp get_route a b =
+    match String.compare (get_route a) (get_route b) with
+    | 0 -> key_cmp a b
+    | c -> c
+  in
+  let cevents =
+    List.concat_map (fun (r, _) -> r.rec_cevents) outs
+    |> List.sort
+         (by_route_then
+            (fun a b -> compare a.ce_plen b.ce_plen)
+            (fun e -> e.ce_route))
+  in
+  let trojans_sorted =
+    List.concat_map (fun (r, _) -> r.rec_trojans) outs
+    |> List.sort
+         (by_route_then
+            (fun a b -> compare a.wt_idx b.wt_idx)
+            (fun t -> t.wt_route))
+  in
+  (* found_at is wall clock — the one field outside the determinism claim.
+     Tasks finish out of order, so restore monotonicity along the merged
+     (sequential-equivalent) order for the Figure-10 discovery curve. *)
+  let _, trojans =
+    List.fold_left_map
+      (fun floor w ->
+        let found_at = Float.max floor w.wt_found_at in
+        ( found_at,
+          {
+            server_state_id = rank w.wt_route;
+            accept_label = w.wt_label;
+            witness = w.wt_witness;
+            symbolic = w.wt_symbolic;
+            msg_vars = w.wt_msg_vars;
+            found_at;
+          } ))
+      0. trojans_sorted
+  in
+  let accepting =
+    List.concat_map (fun (r, _) -> r.rec_accepting) outs
+    |> List.sort (by_route_then (fun _ _ -> 0) (fun a -> a.wa_route))
+    |> List.map (fun a ->
+           {
+             Predicate.sp_state_id = rank a.wa_route;
+             label = a.wa_label;
+             msg_vars = a.wa_msg_vars;
+             sp_constraints = a.wa_constraints;
+           })
+  in
+  let drops =
+    List.concat_map (fun (r, _) -> r.rec_drops) outs
+    |> List.sort
+         (by_route_then
+            (fun a b -> compare (a.wd_plen, a.wd_ord) (b.wd_plen, b.wd_ord))
+            (fun d -> d.wd_route))
+    |> List.map (fun d ->
+           {
+             at_state = rank d.wd_route;
+             dropped_path = d.wd_path;
+             conflicting = d.wd_conflicting;
+           })
+  in
+  let terminals = List.concat_map (fun (r, _) -> r.rec_terminals) outs in
+  let count p = List.length (List.filter p terminals) in
+  let stats =
+    {
+      accepting_paths =
+        count (fun (_, s) -> match s with State.Accepted _ -> true | _ -> false);
+      rejecting_paths =
+        count (fun (_, s) ->
+            match s with State.Rejected _ | State.Finished -> true | _ -> false);
+      other_paths =
+        count (fun (_, s) ->
+            match s with State.Dropped | State.Crashed _ -> true | _ -> false);
+      pruned_states =
+        List.length (List.filter (fun e -> e.ce_pruned) cevents);
+      forks = List.fold_left (fun acc (r, _) -> acc + r.rec_forks) 0 outs;
+      alive_checks = List.fold_left (fun acc e -> acc + e.ce_checks) 0 cevents;
+      transitive_drops =
+        List.fold_left (fun acc e -> acc + e.ce_transitive) 0 cevents;
+      alive_samples =
+        List.map
+          (fun e ->
+            {
+              state_id = rank e.ce_route;
+              path_length = e.ce_plen;
+              alive = e.ce_alive;
+            })
+          cevents;
+      wall_time = Unix.gettimeofday () -. started;
+    }
+  in
+  { trojans; accepting; drops; search_stats = stats }
+
+let run ?(config = default_config) ?different_from ~client ~server () =
+  let started = Unix.gettimeofday () in
+  if config.domains <= 1 then
+    run_sequential ~config ~different_from ~client ~server ~started
+  else run_parallel ~config ~different_from ~client ~server ~started

@@ -16,7 +16,22 @@
     Accepting states therefore have Trojan messages by construction; the
     search emits a symbolic Trojan expression and one or more concrete
     witnesses per accepting path, each timestamped for the discovery curve
-    of Figure 10. *)
+    of Figure 10.
+
+    {b Multicore.} With [domains > 1] the exploration tree is split into
+    [2^split_bits] route shards run as tasks on a {!Pool} of domains, each
+    with its own solver sessions, domain-local solver cache/stats and a
+    fresh-variable counter replaying the sequential id sequence. Exactly one
+    shard owns (records) each state, and the merge sorts the disjoint event
+    logs by route — lexicographic route order equals sequential depth-first
+    creation order — and renumbers state ids by route rank, so the report is
+    identical to the sequential one except for wall-clock fields
+    ([wall_time], and [found_at], which is re-monotonized in merge order).
+    Caveats: determinism assumes the server allocates no fresh symbolic
+    variables after its first fork (all bundled models receive the analyzed
+    message up front), that [max_states] (a per-task bound in parallel mode)
+    is not hit, and [explain_drops] unsat-core {e contents} may differ
+    (cores depend on solver history; the set of drop events does not). *)
 
 open Achilles_smt
 open Achilles_symvm
@@ -39,9 +54,16 @@ type config = {
       (* blocking-constraint generator steering witness enumeration toward
          distinct message classes; [None] blocks the exact witness bytes *)
   interp : Interp.config;
+  domains : int;
+      (* worker domains for the parallel search; <= 1 runs sequentially *)
+  split_bits : int option;
+      (* route shards = 2^split_bits (in [0,16]); [None] picks
+         ceil(log2 domains) + 2, capped at 8 *)
 }
 
 val default_config : config
+(** [domains] defaults to [$ACHILLES_DOMAINS] when that is set to a positive
+    integer (read once at startup), else 1. *)
 
 type trojan = {
   server_state_id : int;

@@ -10,7 +10,7 @@ type stats = {
   mutable solve_time : float;
 }
 
-let the_stats =
+let fresh_stats () =
   {
     queries = 0;
     cache_hits = 0;
@@ -21,21 +21,76 @@ let the_stats =
     solve_time = 0.;
   }
 
-let stats () = the_stats
+(* Every domain gets its own stats record, result cache and cache switch, so
+   parallel search workers never contend on (or corrupt) shared tables. A
+   registry of all per-domain states backs the aggregate/reset APIs. *)
+type domain_state = {
+  dstats : stats;
+  dcache : (Term.t list, result) Hashtbl.t;
+  mutable dcache_enabled : bool;
+}
 
-let reset_stats () =
-  the_stats.queries <- 0;
-  the_stats.cache_hits <- 0;
-  the_stats.interval_prunes <- 0;
-  the_stats.sat_calls <- 0;
-  the_stats.sat_results <- 0;
-  the_stats.unsat_results <- 0;
-  the_stats.solve_time <- 0.
+let registry : domain_state list ref = ref []
+let registry_mutex = Mutex.create ()
 
-let cache : (Term.t list, result) Hashtbl.t = Hashtbl.create 1024
-let cache_enabled = ref true
-let clear_cache () = Hashtbl.reset cache
-let set_cache_enabled b = cache_enabled := b
+let domain_key =
+  Domain.DLS.new_key (fun () ->
+      let st =
+        {
+          dstats = fresh_stats ();
+          dcache = Hashtbl.create 1024;
+          dcache_enabled = true;
+        }
+      in
+      Mutex.lock registry_mutex;
+      registry := st :: !registry;
+      Mutex.unlock registry_mutex;
+      st)
+
+let domain_state () = Domain.DLS.get domain_key
+let stats () = (domain_state ()).dstats
+
+let reset_one st =
+  st.queries <- 0;
+  st.cache_hits <- 0;
+  st.interval_prunes <- 0;
+  st.sat_calls <- 0;
+  st.sat_results <- 0;
+  st.unsat_results <- 0;
+  st.solve_time <- 0.
+
+let reset_stats () = reset_one (stats ())
+
+let aggregate_stats () =
+  Mutex.lock registry_mutex;
+  let states = !registry in
+  Mutex.unlock registry_mutex;
+  let acc = fresh_stats () in
+  List.iter
+    (fun d ->
+      let s = d.dstats in
+      acc.queries <- acc.queries + s.queries;
+      acc.cache_hits <- acc.cache_hits + s.cache_hits;
+      acc.interval_prunes <- acc.interval_prunes + s.interval_prunes;
+      acc.sat_calls <- acc.sat_calls + s.sat_calls;
+      acc.sat_results <- acc.sat_results + s.sat_results;
+      acc.unsat_results <- acc.unsat_results + s.unsat_results;
+      acc.solve_time <- acc.solve_time +. s.solve_time)
+    states;
+  acc
+
+let reset_all_for_tests () =
+  Mutex.lock registry_mutex;
+  let states = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter
+    (fun d ->
+      reset_one d.dstats;
+      Hashtbl.reset d.dcache)
+    states
+
+let clear_cache () = Hashtbl.reset (domain_state ()).dcache
+let set_cache_enabled b = (domain_state ()).dcache_enabled <- b
 
 (* Flatten nested conjunctions, drop [True], dedupe and sort for a canonical
    cache key. Returns [None] when a conjunct is literally [False]. *)
@@ -50,38 +105,41 @@ let canonicalize terms =
   Option.map (List.sort_uniq Term.compare) (flatten [] terms)
 
 let solve_with_sat ?conflict_limit terms =
+  let st = stats () in
   let sat = Sat.create () in
   let bb = Bitblast.create sat in
   List.iter (Bitblast.assert_true bb) terms;
-  the_stats.sat_calls <- the_stats.sat_calls + 1;
+  st.sat_calls <- st.sat_calls + 1;
   let t0 = Unix.gettimeofday () in
   let answer = Sat.solve ?conflict_limit sat in
-  the_stats.solve_time <- the_stats.solve_time +. (Unix.gettimeofday () -. t0);
+  st.solve_time <- st.solve_time +. (Unix.gettimeofday () -. t0);
   match answer with
   | Some Sat.Sat ->
-      the_stats.sat_results <- the_stats.sat_results + 1;
+      st.sat_results <- st.sat_results + 1;
       Sat (Bitblast.extract_model bb)
   | Some Sat.Unsat ->
-      the_stats.unsat_results <- the_stats.unsat_results + 1;
+      st.unsat_results <- st.unsat_results + 1;
       Unsat
   | None -> Unknown
 
 let check ?conflict_limit terms =
-  the_stats.queries <- the_stats.queries + 1;
+  let d = domain_state () in
+  let st = d.dstats in
+  st.queries <- st.queries + 1;
   match canonicalize terms with
   | None ->
-      the_stats.unsat_results <- the_stats.unsat_results + 1;
+      st.unsat_results <- st.unsat_results + 1;
       Unsat
   | Some [] -> Sat Model.empty
   | Some key -> (
-      match if !cache_enabled then Hashtbl.find_opt cache key else None with
+      match if d.dcache_enabled then Hashtbl.find_opt d.dcache key else None with
       | Some r ->
-          the_stats.cache_hits <- the_stats.cache_hits + 1;
+          st.cache_hits <- st.cache_hits + 1;
           r
       | None ->
           let r =
             if Interval.definitely_unsat key then begin
-              the_stats.interval_prunes <- the_stats.interval_prunes + 1;
+              st.interval_prunes <- st.interval_prunes + 1;
               Unsat
             end
             else solve_with_sat ?conflict_limit key
@@ -89,7 +147,7 @@ let check ?conflict_limit terms =
           (match r with
           | Unknown -> ()
           | Sat _ | Unsat ->
-              if !cache_enabled then Hashtbl.replace cache key r);
+              if d.dcache_enabled then Hashtbl.replace d.dcache key r);
           r)
 
 let is_sat terms = match check terms with Sat _ -> true | Unsat | Unknown -> false
@@ -141,24 +199,24 @@ module Incremental = struct
         g
 
   let check ?conflict_limit session terms =
-    the_stats.queries <- the_stats.queries + 1;
+    let st = stats () in
+    st.queries <- st.queries + 1;
     if session.dead then Unsat
     else begin
       match canonicalize terms with
       | None -> Unsat
       | Some terms ->
           let assumptions = List.map (indicator session) terms in
-          the_stats.sat_calls <- the_stats.sat_calls + 1;
+          st.sat_calls <- st.sat_calls + 1;
           let t0 = Unix.gettimeofday () in
           let answer = Sat.solve ?conflict_limit ~assumptions session.sat in
-          the_stats.solve_time <-
-            the_stats.solve_time +. (Unix.gettimeofday () -. t0);
+          st.solve_time <- st.solve_time +. (Unix.gettimeofday () -. t0);
           (match answer with
           | Some Sat.Sat ->
-              the_stats.sat_results <- the_stats.sat_results + 1;
+              st.sat_results <- st.sat_results + 1;
               Sat (Bitblast.extract_model session.bb)
           | Some Sat.Unsat ->
-              the_stats.unsat_results <- the_stats.unsat_results + 1;
+              st.unsat_results <- st.unsat_results + 1;
               (* Unsat under assumptions; the session stays usable unless
                  the permanent part itself is contradictory, which the next
                  unassumed call would reveal. *)

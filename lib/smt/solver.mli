@@ -4,8 +4,14 @@
     Pipeline per query: structural canonicalization (flatten conjunctions,
     dedupe, detect trivial answers) -> result cache lookup -> unsigned
     interval pre-check -> bitblasting -> CDCL SAT search -> model
-    extraction. The cache is global to the library and can be cleared for
-    measurements. *)
+    extraction.
+
+    The cache and the statistics are per-domain ([Domain.DLS]): every domain
+    running solver queries gets its own, so parallel search workers never
+    contend on shared tables. {!aggregate_stats} merges across domains.
+    Because each non-cached query is decided on a fresh SAT instance built
+    from a canonicalized key, answers (including models) do not depend on
+    which domain's cache served them. *)
 
 type result = Sat of Model.t | Unsat | Unknown
 
@@ -39,11 +45,27 @@ type stats = {
 }
 
 val stats : unit -> stats
-(** Live statistics record (mutated in place by the solver). *)
+(** The calling domain's live statistics record (mutated in place by the
+    solver as it runs in that domain). *)
+
+val aggregate_stats : unit -> stats
+(** A snapshot summing the statistics of every domain that has ever used the
+    solver (including finished ones). Only a consistent total when no other
+    domain is solving concurrently. *)
 
 val reset_stats : unit -> unit
+(** Zero the calling domain's statistics only. *)
+
+val reset_all_for_tests : unit -> unit
+(** Zero every domain's statistics and clear every domain's cache, so test
+    suites are order-independent regardless of which domains earlier cases
+    ran solver work on. Not safe while another domain is solving. *)
+
 val clear_cache : unit -> unit
+(** Drop the calling domain's result cache. *)
+
 val set_cache_enabled : bool -> unit
+(** Toggle result caching for the calling domain. *)
 
 (** {1 Incremental sessions}
 

@@ -45,13 +45,19 @@ let pp_sort fmt = function
   | Bool -> Format.pp_print_string fmt "Bool"
   | Bitvec w -> Format.fprintf fmt "Bv%d" w
 
-let fresh_counter = ref 0
+(* One counter per domain: parallel search workers seed their counter from
+   the sequential base (Search sets it per task), so ids never depend on
+   which domain ran which shard. *)
+let fresh_counter = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_var ?(name = "v") sort =
-  incr fresh_counter;
-  { id = !fresh_counter; name; sort }
+  let c = Domain.DLS.get fresh_counter in
+  incr c;
+  { id = !c; name; sort }
 
-let reset_fresh_counter () = fresh_counter := 0
+let reset_fresh_counter () = Domain.DLS.get fresh_counter := 0
+let set_fresh_counter n = Domain.DLS.get fresh_counter := n
+let fresh_counter_value () = !(Domain.DLS.get fresh_counter)
 
 let rec sort_of = function
   | True | False | Not _ | And _ | Or _ | Eq _ | Ult _ | Slt _ | Ule _

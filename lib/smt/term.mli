@@ -47,7 +47,17 @@ val fresh_var : ?name:string -> sort -> var
 
 val reset_fresh_counter : unit -> unit
 (** Reset the fresh-variable counter. Only for reproducible experiments and
-    tests that compare printed output; never call while terms are live. *)
+    tests that compare printed output; never call while terms are live. The
+    counter is per-domain ([Domain.DLS]); this resets the calling domain's. *)
+
+val set_fresh_counter : int -> unit
+(** Set the calling domain's fresh-variable counter; the next variable gets
+    id [n + 1]. Parallel search workers use this to replay the sequential id
+    sequence inside their shard. *)
+
+val fresh_counter_value : unit -> int
+(** The calling domain's current counter (the id of the last variable it
+    allocated). *)
 
 val sort_of : t -> sort
 (** Raises {!Sort_error} on ill-sorted terms (cannot happen for terms built

@@ -5,6 +5,30 @@ exception Runtime_error of string
 
 let runtime_error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
 
+(* A shard restricts a run to the subtree(s) whose routes agree with the
+   shard index on the first [shard_bits] fork decisions. 2^shard_bits shards
+   together cover the whole exploration tree: each shard replays the shared
+   spine (states whose route is shorter than [shard_bits]) and exclusively
+   explores the subtrees below its own bit pattern. *)
+type shard = { shard_index : int; shard_bits : int }
+
+let shard_bit sh k = (sh.shard_index lsr k) land 1
+
+let shard_compatible sh route =
+  let n = min (String.length route) sh.shard_bits in
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    if Char.code route.[k] - Char.code '0' <> shard_bit sh k then ok := false
+  done;
+  !ok
+
+(* Exactly one compatible shard "owns" each state: the one whose index bits
+   beyond the route are all zero. Owners do the per-state recording (and the
+   witness enumeration) so a parallel merge is pure concatenation. *)
+let shard_owns sh route =
+  shard_compatible sh route
+  && sh.shard_index lsr min (String.length route) sh.shard_bits = 0
+
 type config = {
   max_unroll : int;
   max_depth : int;
@@ -17,6 +41,9 @@ type config = {
       (* reclassify paths that end back at the event loop without an
          explicit marker (status [Finished]) — §5.1's automatic
          accept/reject detection *)
+  shard : shard option;
+      (* when set, forks creating a route incompatible with the shard are
+         not explored (the sibling shard explores them) *)
 }
 
 let default_config =
@@ -29,6 +56,7 @@ let default_config =
     initial_globals = [];
     initial_path = [];
     auto_classify = None;
+    shard = None;
   }
 
 (* §5.1's default heuristic: a handler that replied to the analyzed message
@@ -97,6 +125,15 @@ type ctx = {
 type locals = Term.t String_map.t
 
 type exit = Fall | Ret of Term.t option | End
+
+(* Execution is a lazy sequence of outcomes: a fork's true child and its
+   whole subtree are forced (and numbered) before the false child is even
+   created. That makes state creation order exactly the depth-first
+   pre-order of the exploration tree — i.e. the lexicographic order of
+   routes — which is what the parallel search's deterministic merge
+   renumbers by. It also keeps only one path's frontier live at a time
+   instead of materializing every pending sibling eagerly. *)
+type outcomes = (State.t * locals * exit) Seq.t
 
 (* --- value coercion -------------------------------------------------------- *)
 
@@ -242,18 +279,23 @@ let add_constraint ctx (st : State.t) cond =
     None
   end
 
-let fork_child ctx (parent : State.t) =
+let fork_child ctx (parent : State.t) route =
   ctx.next_id <- ctx.next_id + 1;
   ctx.stats.states_created <- ctx.stats.states_created + 1;
   let child =
-    { parent with State.id = ctx.next_id; State.parent = Some parent.State.id }
+    {
+      parent with
+      State.id = ctx.next_id;
+      State.parent = Some parent.State.id;
+      State.route = route;
+    }
   in
   ctx.hooks.on_fork ~parent ~child;
   child
 
 (* Branch on a boolean term. [ift] and [iff] continue execution from the
    constrained state. *)
-let branch ctx (st : State.t) cond ift iff =
+let branch ctx (st : State.t) cond ift iff : outcomes =
   match Term.bool_value cond with
   | Some true -> ift st
   | Some false -> iff st
@@ -263,58 +305,82 @@ let branch ctx (st : State.t) cond ift iff =
       match t_feasible, f_feasible with
       | true, true ->
           if st.State.depth + 1 > ctx.config.max_depth then
-            [ (truncate ctx st "max-depth", String_map.empty, End) ]
+            Seq.return (truncate ctx st "max-depth", String_map.empty, End)
           else if ctx.stats.states_created + 2 > ctx.config.max_states then
-            [ (truncate ctx st "max-states", String_map.empty, End) ]
+            Seq.return (truncate ctx st "max-states", String_map.empty, End)
           else begin
             ctx.stats.forks <- ctx.stats.forks + 1;
-            let continue side cond =
-              let child = fork_child ctx st in
-              let child = { child with State.depth = child.State.depth + 1 } in
-              match add_constraint ctx child cond with
-              | Some child -> side child
-              | None -> []
+            let continue side cond bit : outcomes =
+             fun () ->
+              (* deferred to forcing time: the true subtree is explored
+                 (and numbered) in full before this child even exists *)
+              let route = st.State.route ^ bit in
+              let skip =
+                match ctx.config.shard with
+                | Some sh -> not (shard_compatible sh route)
+                | None -> false
+              in
+              if skip then Seq.Nil
+              else
+                let child = fork_child ctx st route in
+                let child = { child with State.depth = child.State.depth + 1 } in
+                match add_constraint ctx child cond with
+                | Some child -> side child ()
+                | None -> Seq.Nil
             in
-            continue ift cond @ continue iff (Term.not_ cond)
+            Seq.append
+              (continue ift cond "0")
+              (continue iff (Term.not_ cond) "1")
           end
       | true, false -> (
           match add_constraint ctx st cond with
           | Some st -> ift st
-          | None -> [])
+          | None -> Seq.empty)
       | false, true -> (
           match add_constraint ctx st (Term.not_ cond) with
           | Some st -> iff st
-          | None -> [])
+          | None -> Seq.empty)
       | false, false ->
           (* the current path was already infeasible; treat as dropped *)
-          [ (finish ctx st State.Dropped, String_map.empty, End) ])
+          Seq.return (finish ctx st State.Dropped, String_map.empty, End))
 
 (* --- statement execution ------------------------------------------------------ *)
 
-let rec exec_block ctx st (locals : locals) (block : Ast.block) :
-    (State.t * locals * exit) list =
+let rec exec_block ctx st (locals : locals) (block : Ast.block) : outcomes =
   match block with
-  | [] -> [ (st, locals, Fall) ]
+  | [] -> Seq.return (st, locals, Fall)
   | stmt :: rest ->
       exec_stmt ctx st locals stmt
-      |> List.concat_map (fun ((st : State.t), locals, exit) ->
+      |> Seq.concat_map (fun ((st : State.t), locals, exit) ->
              match exit with
              | Fall when st.State.status = State.Running ->
                  exec_block ctx st locals rest
-             | _ -> [ (st, locals, exit) ])
+             | _ -> Seq.return (st, locals, exit))
 
-and exec_stmt ctx (st : State.t) (locals : locals) (stmt : Ast.stmt) :
-    (State.t * locals * exit) list =
-  try exec_stmt_unsafe ctx st locals stmt
-  with Runtime_error msg -> [ (finish ctx st (State.Crashed msg), locals, End) ]
+and exec_stmt ctx (st : State.t) (locals : locals) (stmt : Ast.stmt) : outcomes
+    =
+  protect ctx st locals (fun () -> exec_stmt_unsafe ctx st locals stmt ())
+
+(* Statement execution is lazy, so a [Runtime_error] surfaces while the
+   resulting sequence is being forced, not while [exec_stmt_unsafe] builds
+   it. Guard every forcing step and turn the error into a crashed terminal
+   for the pre-statement state, like the eager interpreter did. *)
+and protect ctx (st : State.t) (locals : locals) (s : outcomes) : outcomes =
+ fun () ->
+  try
+    match s () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (x, rest) -> Seq.Cons (x, protect ctx st locals rest)
+  with Runtime_error msg ->
+    Seq.Cons ((finish ctx st (State.Crashed msg), locals, End), Seq.empty)
 
 and exec_stmt_unsafe ctx (st : State.t) (locals : locals) (stmt : Ast.stmt) :
-    (State.t * locals * exit) list =
+    outcomes =
   match stmt with
   | Assign (name, e) ->
       let t = eval ctx st locals e in
       let st, locals = assign_var st locals name t in
-      [ (st, locals, Fall) ]
+      Seq.return (st, locals, Fall)
   | Store (buf, off, value) ->
       let offset = as_bv (eval ctx st locals off) in
       let value = Term.resize_unsigned ~width:8 (as_bv (eval ctx st locals value)) in
@@ -339,7 +405,7 @@ and exec_stmt_unsafe ctx (st : State.t) (locals : locals) (stmt : Ast.stmt) :
       let st =
         { st with State.buffers = String_map.add buf buffer' st.State.buffers }
       in
-      [ (st, locals, Fall) ]
+      Seq.return (st, locals, Fall)
   | If (c, tb, fb) ->
       let cond = as_bool (eval ctx st locals c) in
       branch ctx st cond
@@ -370,23 +436,23 @@ and exec_stmt_unsafe ctx (st : State.t) (locals : locals) (stmt : Ast.stmt) :
           in
           let frame = List.fold_left2 bind String_map.empty p.Ast.params args in
           exec_block ctx st frame p.Ast.body
-          |> List.concat_map (fun ((st : State.t), _frame, exit) ->
+          |> Seq.concat_map (fun ((st : State.t), _frame, exit) ->
                  match exit with
-                 | End -> [ (st, locals, End) ]
+                 | End -> Seq.return (st, locals, End)
                  | Fall | Ret None -> (
                      match result with
-                     | None -> [ (st, locals, Fall) ]
+                     | None -> Seq.return (st, locals, Fall)
                      | Some _ ->
                          runtime_error "procedure %s returned no value" proc)
                  | Ret (Some value) -> (
                      match result with
-                     | None -> [ (st, locals, Fall) ]
+                     | None -> Seq.return (st, locals, Fall)
                      | Some var ->
                          let st, locals = assign_var st locals var value in
-                         [ (st, locals, Fall) ])))
+                         Seq.return (st, locals, Fall))))
   | Return e ->
       let value = Option.map (fun e -> eval ctx st locals e) e in
-      [ (st, locals, Ret value) ]
+      Seq.return (st, locals, Ret value)
   | Receive buf -> (
       let buffer = get_buffer st buf in
       let n = Array.length buffer in
@@ -403,12 +469,12 @@ and exec_stmt_unsafe ctx (st : State.t) (locals : locals) (stmt : Ast.stmt) :
               State.received = st.State.received + 1;
             }
           in
-          [ (st, locals, Fall) ]
+          Seq.return (st, locals, Fall)
       | [] ->
           if st.State.msg_vars <> None then
             (* the analyzed message was already delivered: the node is back
                at its event loop, which ends the path *)
-            [ (finish ctx st State.Finished, locals, End) ]
+            Seq.return (finish ctx st State.Finished, locals, End)
           else begin
             let vars =
               Array.init n (fun i ->
@@ -424,7 +490,7 @@ and exec_stmt_unsafe ctx (st : State.t) (locals : locals) (stmt : Ast.stmt) :
                 State.msg_vars = Some vars;
               }
             in
-            [ (st, locals, Fall) ]
+            Seq.return (st, locals, Fall)
           end)
   | Send { dst; buf } ->
       let dst = as_bv (eval ctx st locals dst) in
@@ -439,17 +505,17 @@ and exec_stmt_unsafe ctx (st : State.t) (locals : locals) (stmt : Ast.stmt) :
       in
       let st = { st with State.sent = message :: st.State.sent } in
       ctx.hooks.on_send st message;
-      [ (st, locals, Fall) ]
+      Seq.return (st, locals, Fall)
   | Read_input (name, width) ->
       let var = Term.fresh_var ~name (Term.Bitvec width) in
       let st = { st with State.input_vars = var :: st.State.input_vars } in
       let st, locals = assign_var st locals name (Term.var var) in
-      [ (st, locals, Fall) ]
+      Seq.return (st, locals, Fall)
   | Make_symbolic (name, width) ->
       let var = Term.fresh_var ~name (Term.Bitvec width) in
       let st = { st with State.input_vars = var :: st.State.input_vars } in
       let st, locals = assign_var st locals name (Term.var var) in
-      [ (st, locals, Fall) ]
+      Seq.return (st, locals, Fall)
   | Make_buffer_symbolic buf ->
       let buffer = get_buffer st buf in
       let vars =
@@ -465,46 +531,46 @@ and exec_stmt_unsafe ctx (st : State.t) (locals : locals) (stmt : Ast.stmt) :
             Array.to_list vars @ st.State.input_vars;
         }
       in
-      [ (st, locals, Fall) ]
+      Seq.return (st, locals, Fall)
   | Assume e -> (
       let cond = as_bool (eval ctx st locals e) in
       match Term.bool_value cond with
-      | Some true -> [ (st, locals, Fall) ]
-      | Some false -> [ (finish ctx st State.Dropped, locals, End) ]
+      | Some true -> Seq.return (st, locals, Fall)
+      | Some false -> Seq.return (finish ctx st State.Dropped, locals, End)
       | None ->
           if feasible ctx (cond :: st.State.path) then
             match add_constraint ctx st cond with
-            | Some st -> [ (st, locals, Fall) ]
-            | None -> []
-          else [ (finish ctx st State.Dropped, locals, End) ])
-  | Drop_path -> [ (finish ctx st State.Dropped, locals, End) ]
+            | Some st -> Seq.return (st, locals, Fall)
+            | None -> Seq.empty
+          else Seq.return (finish ctx st State.Dropped, locals, End))
+  | Drop_path -> Seq.return (finish ctx st State.Dropped, locals, End)
   | Mark_accept label ->
       (* accept/reject markers classify the handling of the analyzed
          (fresh symbolic) message; while earlier preloaded rounds are being
          replayed they are inert and the node continues its event loop *)
       if st.State.received > 0 && st.State.msg_vars = None then
-        [ (st, locals, Fall) ]
-      else [ (finish ctx st (State.Accepted label), locals, End) ]
+        Seq.return (st, locals, Fall)
+      else Seq.return (finish ctx st (State.Accepted label), locals, End)
   | Mark_reject label ->
       if st.State.received > 0 && st.State.msg_vars = None then
-        [ (st, locals, Fall) ]
-      else [ (finish ctx st (State.Rejected label), locals, End) ]
-  | Halt -> [ (finish ctx st State.Finished, locals, End) ]
-  | Abort reason -> [ (finish ctx st (State.Crashed reason), locals, End) ]
+        Seq.return (st, locals, Fall)
+      else Seq.return (finish ctx st (State.Rejected label), locals, End)
+  | Halt -> Seq.return (finish ctx st State.Finished, locals, End)
+  | Abort reason -> Seq.return (finish ctx st (State.Crashed reason), locals, End)
 
 and exec_while ctx st locals c body budget =
-  if budget = 0 then [ (truncate ctx st "max-unroll", locals, End) ]
+  if budget = 0 then Seq.return (truncate ctx st "max-unroll", locals, End)
   else
     let cond = as_bool (eval ctx st locals c) in
     branch ctx st cond
       (fun st ->
         exec_block ctx st locals body
-        |> List.concat_map (fun ((st : State.t), locals, exit) ->
+        |> Seq.concat_map (fun ((st : State.t), locals, exit) ->
                match exit with
                | Fall when st.State.status = State.Running ->
                    exec_while ctx st locals c body (budget - 1)
-               | _ -> [ (st, locals, exit) ]))
-      (fun st -> [ (st, locals, Fall) ])
+               | _ -> Seq.return (st, locals, exit)))
+      (fun st -> Seq.return (st, locals, Fall))
 
 (* --- program entry -------------------------------------------------------------- *)
 
@@ -532,6 +598,7 @@ let initial_state ctx =
   {
     State.id = 0;
     parent = None;
+    route = "";
     globals;
     buffers;
     path = List.rev ctx.config.initial_path;
@@ -549,10 +616,13 @@ let run ?(config = default_config) ?(hooks = default_hooks) program =
   let ctx = { program; config; hooks; stats; next_id = 0 } in
   let st = initial_state ctx in
   let outcomes = exec_block ctx st String_map.empty program.Ast.main in
+  (* forcing the sequence here is what actually runs the exploration, in
+     strict depth-first order *)
   let terminals =
-    List.map
-      (fun ((st : State.t), _locals, _exit) ->
-        if State.is_terminal st then st else finish ctx st State.Finished)
-      outcomes
+    List.of_seq
+      (Seq.map
+         (fun ((st : State.t), _locals, _exit) ->
+           if State.is_terminal st then st else finish ctx st State.Finished)
+         outcomes)
   in
   { terminals; stats }

@@ -21,6 +21,24 @@
 
 open Achilles_smt
 
+type shard = { shard_index : int; shard_bits : int }
+(** A route-prefix shard of the exploration tree: the run only explores
+    states whose route agrees with the low [shard_bits] bits of
+    [shard_index] (bit [k] of the index = decision at fork depth [k]). The
+    [2^shard_bits] shards cover the tree: each replays the shared spine
+    (routes shorter than [shard_bits]) and exclusively owns the subtrees
+    matching its own bit pattern. Requires [0 <= shard_index < 2^shard_bits]
+    and [shard_bits <= 30]. *)
+
+val shard_compatible : shard -> string -> bool
+(** Does this shard explore the state with the given route? *)
+
+val shard_owns : shard -> string -> bool
+(** Among the shards compatible with a route, exactly one — the one whose
+    index bits beyond the route are all zero — owns it; owners do the
+    per-state work (recording, witness enumeration) so that merging shard
+    results needs no deduplication. *)
+
 type config = {
   max_unroll : int; (* loop iterations per [While] per path *)
   max_depth : int; (* symbolic branch decisions per path *)
@@ -40,6 +58,10 @@ type config = {
       (* reclassify paths ending with status [Finished] (back at the event
          loop with no explicit marker) — §5.1's automatic accept/reject
          detection; [None] from the classifier keeps [Finished] *)
+  shard : shard option;
+      (* when set, forks whose child route is incompatible with the shard
+         are skipped (a sibling shard explores them); [None] explores
+         everything *)
 }
 
 val default_config : config

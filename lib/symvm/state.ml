@@ -25,6 +25,10 @@ type message = {
 type t = {
   id : int;
   parent : int option;
+  route : string;
+      (* branch decisions ('0' = true-branch, '1' = false-branch) taken at
+         two-sided forks on the way here; stable across runs and domain
+         counts, unlike [id] which numbers states in creation order *)
   globals : Term.t String_map.t;
   buffers : Term.t array String_map.t;
   path : Term.t list; (* newest constraint first *)

@@ -30,6 +30,11 @@ type message = {
 type t = {
   id : int;  (** unique within a run; fork children get fresh ids *)
   parent : int option;
+  route : string;
+      (** branch decisions ('0' = true-branch, '1' = false-branch) taken at
+          two-sided forks on the way here. The route names a state's position
+          in the exploration tree independently of execution order, which is
+          what the parallel search merges and renumbers by. *)
   globals : Term.t String_map.t;
   buffers : Term.t array String_map.t;
   path : Term.t list;  (** path constraints, newest first *)

@@ -148,6 +148,45 @@ let test_pbft_end_to_end () =
   Alcotest.(check bool) "live replica accepts and recovery fires" true
     r.Pbft_deploy.recovery
 
+(* The multicore determinism guarantee on the headline workload: a 4-domain
+   FSP analysis produces byte-identical Figure 10 / Figure 11 data to the
+   sequential one, and both match pinned golden digests (reproducible
+   because the runs start from a reset solver and fresh-variable counter).
+   The digests cover no wall-clock fields — see {!Report.report_digest}. *)
+let golden_fig10_digest = "075ddf0b4c175bc33c01d12bc70ab018"
+let golden_fig11_digest = "0f7bc3f897fc2fdb28e2d2e7bf624c9c"
+
+let test_multicore_golden_digests () =
+  let run domains =
+    Solver.reset_all_for_tests ();
+    Term.reset_fresh_counter ();
+    let config =
+      {
+        Search.default_config with
+        Search.mask = Some Fsp_model.analysis_mask;
+        Search.witnesses_per_path = 16;
+        Search.distinct_by = Some Fsp_model.block_class;
+        Search.domains;
+      }
+    in
+    Achilles.analyze ~search_config:config ~layout:Fsp_model.layout
+      ~clients:(Fsp_model.clients ()) ~server:Fsp_model.server ()
+  in
+  let a1 = run 1 and a4 = run 4 in
+  let fig10 (a : Achilles.analysis) = Report.discovery_digest a.Achilles.report in
+  let fig11 (a : Achilles.analysis) =
+    Report.alive_digest a.Achilles.report.Search.search_stats
+  in
+  Alcotest.(check string) "Fig 10 series: 4 domains = sequential" (fig10 a1)
+    (fig10 a4);
+  Alcotest.(check string) "Fig 11 samples: 4 domains = sequential" (fig11 a1)
+    (fig11 a4);
+  Alcotest.(check string) "Fig 10 golden digest" golden_fig10_digest (fig10 a4);
+  Alcotest.(check string) "Fig 11 golden digest" golden_fig11_digest (fig11 a4);
+  Alcotest.(check string) "full report agrees too"
+    (Report.report_digest a1.Achilles.report)
+    (Report.report_digest a4.Achilles.report)
+
 let test_wildcard_trojan_via_analysis () =
   (* with globbing-aware clients, the analysis must produce a witness with a
      literal '*' in the path — the wildcard bug found by Achilles *)
@@ -184,6 +223,8 @@ let () =
           Alcotest.test_case "Figure 11 decay" `Slow test_figure11_alive_decay;
           Alcotest.test_case "timing shape" `Slow test_timing_shape;
           Alcotest.test_case "wildcard bug" `Slow test_wildcard_trojan_via_analysis;
+          Alcotest.test_case "multicore golden digests" `Slow
+            test_multicore_golden_digests;
         ] );
       ( "pbft",
         [ Alcotest.test_case "MAC attack end to end" `Slow test_pbft_end_to_end ] );

@@ -1,0 +1,358 @@
+(* The multicore search machinery: the domain pool, the thread-safety of the
+   per-domain solver layer, and the headline determinism guarantee — any
+   [domains] setting produces the identical report, checked here on random
+   client/server pairs and on the degenerate cases. *)
+
+open Achilles_smt
+open Achilles_symvm
+open Achilles_core
+open Achilles_targets
+
+(* --- the domain pool --------------------------------------------------------- *)
+
+let test_pool_map () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let input = Array.init 20 (fun i -> i + 1) in
+      let squares = Pool.parallel_map pool (fun x -> x * x) input in
+      Alcotest.(check (array int))
+        "squares by index"
+        (Array.map (fun x -> x * x) input)
+        squares;
+      (* the pool survives several batches *)
+      let doubles = Pool.parallel_map pool (fun x -> 2 * x) input in
+      Alcotest.(check int) "second batch" 40 doubles.(19))
+
+let test_pool_empty () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check (array int))
+        "empty batch" [||]
+        (Pool.parallel_map pool (fun x -> x) [||]);
+      Pool.run_tasks pool [||];
+      Alcotest.(check int) "still two workers" 2 (Pool.size pool))
+
+exception Task_failed of int
+
+let test_pool_exception () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let ran = Array.make 6 false in
+      (* the failing task's exception must reach the submitter — and the
+         whole batch must still drain, not hang *)
+      (match
+         Pool.parallel_map pool
+           (fun i ->
+             ran.(i) <- true;
+             if i = 2 || i = 4 then raise (Task_failed i))
+           (Array.init 6 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected the task exception to propagate"
+      | exception Task_failed i ->
+          Alcotest.(check int) "lowest failing index wins" 2 i);
+      Alcotest.(check bool) "batch drained" true (Array.for_all Fun.id ran);
+      (* and the pool remains usable afterwards *)
+      let r = Pool.parallel_map pool (fun x -> x + 1) [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "pool usable after failure" [| 2; 3; 4 |] r)
+
+let test_pool_shutdown () =
+  let pool = Pool.create ~domains:2 in
+  let r = Pool.parallel_map pool (fun x -> x * 10) [| 1; 2 |] in
+  Alcotest.(check (array int)) "ran" [| 10; 20 |] r;
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  (match Pool.parallel_map pool (fun x -> x) [| 1 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+  | exception Invalid_argument _ -> ());
+  match Pool.create ~domains:0 with
+  | _ -> Alcotest.fail "expected Invalid_argument for zero domains"
+  | exception Invalid_argument _ -> ()
+
+(* --- solver thread-safety ----------------------------------------------------- *)
+
+(* Four domains hammer overlapping sat/unsat queries; every model must
+   satisfy its own query, and the per-domain statistics must sum to the
+   aggregate snapshot. *)
+let test_solver_stress () =
+  Solver.reset_all_for_tests ();
+  let x = Term.fresh_var ~name:"stress_x" (Term.Bitvec 8) in
+  let y = Term.fresh_var ~name:"stress_y" (Term.Bitvec 8) in
+  let sat_query i =
+    [
+      Term.ugt (Term.var x) (Term.int ~width:8 i);
+      Term.ult (Term.var x) (Term.int ~width:8 (i + 40));
+      Term.eq
+        (Term.band (Term.var y) (Term.int ~width:8 1))
+        (Term.int ~width:8 (i land 1));
+    ]
+  in
+  let unsat_query i =
+    [
+      Term.ult (Term.var x) (Term.int ~width:8 i);
+      Term.ugt (Term.var x) (Term.int ~width:8 (i + 40));
+    ]
+  in
+  let tasks = 8 and rounds = 5 in
+  let before = (Solver.aggregate_stats ()).Solver.queries in
+  let results =
+    Pool.with_pool ~domains:4 (fun pool ->
+        Pool.parallel_map pool
+          (fun t ->
+            let ok = ref true in
+            for r = 0 to rounds - 1 do
+              let i = ((t + r) mod 6) + 1 in
+              (match Solver.check (sat_query i) with
+              | Solver.Sat model ->
+                  if not (Model.satisfies model (sat_query i)) then ok := false
+              | Solver.Unsat | Solver.Unknown -> ok := false);
+              if Solver.is_sat (unsat_query i) then ok := false
+            done;
+            !ok)
+          (Array.init tasks Fun.id))
+  in
+  Alcotest.(check bool)
+    "all answers correct, all models satisfy their query" true
+    (Array.for_all Fun.id results);
+  let after = (Solver.aggregate_stats ()).Solver.queries in
+  Alcotest.(check int)
+    "per-domain query counts sum to the aggregate" (tasks * rounds * 2)
+    (after - before)
+
+(* Statistics are domain-local: a worker's queries never leak into the main
+   domain's record, [reset_stats] only touches the caller, and
+   [reset_all_for_tests] wipes everyone. *)
+let test_stats_isolation () =
+  Solver.reset_all_for_tests ();
+  let x = Term.fresh_var ~name:"iso_x" (Term.Bitvec 8) in
+  let q = [ Term.ult (Term.var x) (Term.int ~width:8 5) ] in
+  ignore (Solver.is_sat q);
+  Alcotest.(check int) "main counts its query" 1 (Solver.stats ()).Solver.queries;
+  let worker =
+    Domain.spawn (fun () ->
+        ignore (Solver.is_sat q);
+        ignore (Solver.is_sat q);
+        ignore
+          (Solver.is_unsat
+             [
+               Term.ult (Term.var x) (Term.int ~width:8 3);
+               Term.ugt (Term.var x) (Term.int ~width:8 9);
+             ]);
+        (Solver.stats ()).Solver.queries)
+  in
+  let worker_queries = Domain.join worker in
+  Alcotest.(check int) "worker saw only its own" 3 worker_queries;
+  Alcotest.(check int) "main unchanged by the worker" 1
+    (Solver.stats ()).Solver.queries;
+  Alcotest.(check int) "aggregate sums both" 4
+    (Solver.aggregate_stats ()).Solver.queries;
+  Solver.reset_stats ();
+  Alcotest.(check int) "reset_stats clears the caller" 0
+    (Solver.stats ()).Solver.queries;
+  Alcotest.(check int) "…but not the worker's record" 3
+    (Solver.aggregate_stats ()).Solver.queries;
+  Solver.reset_all_for_tests ();
+  Alcotest.(check int) "reset_all clears every domain" 0
+    (Solver.aggregate_stats ()).Solver.queries
+
+(* --- determinism: random client/server pairs ---------------------------------- *)
+
+let message_size = 3
+
+let layout =
+  Layout.make ~name:"par" [ ("tag", 1); ("a", 1); ("b", 1) ]
+
+(* A random server is a binary decision tree over the three message bytes;
+   a random client pins each field to a constant or bounds it from above. *)
+type tree =
+  | Leaf of bool (* accept? *)
+  | Node of { field : int; op : int; konst : int; t : tree; f : tree }
+
+type field_spec = Fconst of int | Fbounded of int
+
+let tree_gen =
+  QCheck2.Gen.(
+    sized_size (int_range 1 3) @@ fix (fun self depth ->
+        let leaf = map (fun b -> Leaf b) bool in
+        if depth = 0 then leaf
+        else
+          frequency
+            [
+              (1, leaf);
+              ( 3,
+                let* field = int_range 0 (message_size - 1) in
+                let* op = int_range 0 3 in
+                let* konst = int_range 0 7 in
+                let* t = self (depth - 1) in
+                let* f = self (depth - 1) in
+                return (Node { field; op; konst; t; f }) );
+            ]))
+
+let client_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 2)
+      (list_repeat message_size
+         (oneof
+            [
+              map (fun c -> Fconst c) (int_range 0 7);
+              map (fun hi -> Fbounded hi) (int_range 0 7);
+            ])))
+
+let case_gen = QCheck2.Gen.pair tree_gen client_gen
+
+let server_of_tree tree =
+  let open Builder in
+  let labels = ref 0 in
+  let next () =
+    incr labels;
+    string_of_int !labels
+  in
+  let rec block = function
+    | Leaf true -> [ mark_accept ("ok" ^ next ()) ]
+    | Leaf false -> [ mark_reject ("no" ^ next ()) ]
+    | Node { field; op; konst; t; f } ->
+        let byte = load "msg" (i8 field) in
+        let cond =
+          match op with
+          | 0 -> byte =: i8 konst
+          | 1 -> byte <>: i8 konst
+          | 2 -> byte <: i8 konst
+          | _ -> byte >: i8 konst
+        in
+        [ if_ cond (block t) (block f) ]
+  in
+  prog "gen-server"
+    ~buffers:[ ("msg", message_size) ]
+    (receive "msg" :: block tree)
+
+let client_of_spec idx spec =
+  let open Builder in
+  let body =
+    List.concat
+      (List.mapi
+         (fun i fs ->
+           match fs with
+           | Fconst c -> [ store "msg" (i8 i) (i8 c) ]
+           | Fbounded hi ->
+               let name = Printf.sprintf "in%d_%d" idx i in
+               [
+                 read_input name ~width:8;
+                 when_ (v name >: i8 hi) [ halt ];
+                 store "msg" (i8 i) (v name);
+               ])
+         spec)
+    @ [ send (i8 0) "msg" ]
+  in
+  prog (Printf.sprintf "gen-client%d" idx) ~buffers:[ ("msg", message_size) ] body
+
+let digest_at ~domains ?split_bits ~base client server =
+  (* identical starting state for every run: empty caches, zeroed stats,
+     and the fresh-variable counter back where extraction left it *)
+  Solver.reset_all_for_tests ();
+  Term.set_fresh_counter base;
+  let config =
+    {
+      Search.default_config with
+      Search.domains;
+      Search.split_bits;
+      Search.witnesses_per_path = 2;
+    }
+  in
+  Report.report_digest (Search.run ~config ~client ~server ())
+
+let qcheck_parallel_determinism =
+  QCheck2.Test.make
+    ~name:"reports are identical for domains 1, 2 and 4" ~count:15 case_gen
+    (fun (tree, client_specs) ->
+      let server = server_of_tree tree in
+      let clients = List.mapi client_of_spec client_specs in
+      Solver.reset_all_for_tests ();
+      Term.reset_fresh_counter ();
+      let client, _ = Client_extract.extract ~layout clients in
+      let base = Term.fresh_counter_value () in
+      let reference = digest_at ~domains:1 ~base client server in
+      List.for_all
+        (fun (domains, split_bits) ->
+          digest_at ~domains ?split_bits ~base client server = reference)
+        [ (2, None); (4, None); (4, Some 4); (3, Some 1) ])
+
+(* The empty-frontier degenerate case: a server that never forks gives every
+   shard the same spine, exactly one shard owns it, and the merged report
+   still matches the sequential one. *)
+let test_parallel_no_forks () =
+  let open Builder in
+  let server =
+    prog "reject-all"
+      ~buffers:[ ("msg", message_size) ]
+      [ receive "msg"; mark_reject "always" ]
+  in
+  let spec = [ [ Fconst 1; Fconst 2; Fconst 3 ] ] in
+  let clients = List.mapi client_of_spec spec in
+  Solver.reset_all_for_tests ();
+  Term.reset_fresh_counter ();
+  let client, _ = Client_extract.extract ~layout clients in
+  let base = Term.fresh_counter_value () in
+  let d1 = digest_at ~domains:1 ~base client server in
+  let d4 = digest_at ~domains:4 ~base client server in
+  Alcotest.(check string) "fork-free server: domains 1 = domains 4" d1 d4
+
+(* The differentFrom precompute distributed over a pool must equal the
+   sequential one in every observable: matrix cells, the pair-check count,
+   and even the fresh-variable ids consumed. *)
+let test_different_from_pool () =
+  Solver.reset_all_for_tests ();
+  Term.reset_fresh_counter ();
+  let pc, _ =
+    Client_extract.extract ~layout:Fsp_model.layout (Fsp_model.clients ())
+  in
+  let base = Term.fresh_counter_value () in
+  let seq_t, seq_stats =
+    Different_from.compute ~mask:Fsp_model.analysis_mask pc
+  in
+  let seq_counter = Term.fresh_counter_value () in
+  Solver.reset_all_for_tests ();
+  Term.set_fresh_counter base;
+  let par_t, par_stats =
+    Pool.with_pool ~domains:4 (fun pool ->
+        Different_from.compute ~mask:Fsp_model.analysis_mask ~pool pc)
+  in
+  Alcotest.(check int) "same pair-check count"
+    seq_stats.Different_from.pairs_checked par_stats.Different_from.pairs_checked;
+  Alcotest.(check int) "same fresh variables consumed" seq_counter
+    (Term.fresh_counter_value ());
+  Alcotest.(check (list string)) "same fields covered"
+    seq_stats.Different_from.fields_covered
+    par_stats.Different_from.fields_covered;
+  let n = Predicate.client_path_count pc in
+  List.iter
+    (fun field ->
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if
+            Different_from.different seq_t ~i ~j ~field
+            <> Different_from.different par_t ~i ~j ~field
+          then
+            Alcotest.failf "matrix mismatch at field %s cell (%d, %d)" field i j
+        done
+      done)
+    seq_stats.Different_from.fields_covered
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_map" `Quick test_pool_map;
+          Alcotest.test_case "empty batch" `Quick test_pool_empty;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "4-domain stress" `Quick test_solver_stress;
+          Alcotest.test_case "stats isolation" `Quick test_stats_isolation;
+        ] );
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest ~verbose:false qcheck_parallel_determinism;
+          Alcotest.test_case "no forks" `Quick test_parallel_no_forks;
+          Alcotest.test_case "differentFrom over a pool" `Quick
+            test_different_from_pool;
+        ] );
+    ]
