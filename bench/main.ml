@@ -655,6 +655,76 @@ let experiment_scaling () =
     exit 1
   end
 
+(* --- E12: robustness drill ----------------------------------------------------------------------- *)
+
+let experiment_robustness () =
+  banner "E12: degraded runs — fault injection and starved solver budgets";
+  let distinct_states (r : Search.report) =
+    List.sort_uniq compare
+      (List.map
+         (fun (t : Search.trojan) -> t.Search.server_state_id)
+         r.Search.trojans)
+  in
+  let run ~label ~fault_rate ~budget =
+    Solver.reset_all_for_tests ();
+    Term.set_fresh_counter 0;
+    Solver.set_fault_injection ~rate:fault_rate ~seed:0xf5b ();
+    let analysis =
+      Fun.protect
+        ~finally:(fun () -> Solver.set_fault_injection ())
+        (fun () ->
+          Achilles.analyze
+            ~search_config:
+              {
+                fsp_search_config with
+                Search.domains = 4;
+                Search.solver_budget = budget;
+              }
+            ~layout:Fsp_model.layout ~clients:(Fsp_model.clients ())
+            ~server:Fsp_model.server ())
+    in
+    let r = analysis.Achilles.report in
+    let c = r.Search.coverage in
+    let unconfirmed =
+      List.length
+        (List.filter
+           (fun (t : Search.trojan) -> not t.Search.confirmed)
+           r.Search.trojans)
+    in
+    Format.printf
+      "  %-16s %6.2fs  %3d trojans (%d unconfirmed), %2d states, unknowns \
+       %d/%d/%d, exhausted %d, faults %d@."
+      label r.Search.search_stats.Search.wall_time
+      (List.length r.Search.trojans)
+      unconfirmed
+      (List.length (distinct_states r))
+      c.Search.unknown_alive c.Search.unknown_prune c.Search.unknown_witness
+      c.Search.budget_exhaustions c.Search.injected_faults;
+    r
+  in
+  let clean = run ~label:"clean" ~fault_rate:0. ~budget:None in
+  let faulty = run ~label:"faults 5%" ~fault_rate:0.05 ~budget:None in
+  let starved =
+    run ~label:"starved budget" ~fault_rate:0.
+      ~budget:(Some (Solver.budget ~conflicts:0 ~escalations:1 ()))
+  in
+  (* the over-approximation guarantee, measured: a degraded run may add
+     unconfirmed trojan states but must not lose one the clean run found *)
+  let lost label degraded =
+    let d = List.length (distinct_states degraded) in
+    let c = List.length (distinct_states clean) in
+    if d < c then begin
+      Format.eprintf "robustness: %s run lost trojan states (%d < %d)@." label
+        d c;
+      true
+    end
+    else false
+  in
+  let any_lost = lost "faulty" faulty || lost "starved" starved in
+  Format.printf "  degraded runs kept every clean trojan state: %b@."
+    (not any_lost);
+  if any_lost then exit 1
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------------------ *)
 
 let bechamel_benchmarks () =
@@ -789,6 +859,7 @@ let experiments =
     ("impact-pbft", experiment_impact_pbft);
     ("local-state", experiment_local_state);
     ("scaling", experiment_scaling);
+    ("robustness", experiment_robustness);
   ]
 
 let () =

@@ -129,6 +129,41 @@ let domains_arg =
     & opt int Search.default_config.Search.domains
     & info [ "domains"; "j" ] ~docv:"N" ~doc)
 
+let deadline_arg =
+  let doc =
+    "Per-solver-query wall-clock deadline in seconds (escalated x4 on \
+     Unknown, twice, before the query degrades for good)."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let solver_budget_arg =
+  let doc =
+    "Per-solver-query CDCL conflict budget (escalated x4 on Unknown, twice, \
+     before the query degrades for good)."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "solver-budget" ] ~docv:"CONFLICTS" ~doc)
+
+let checkpoint_dir_arg =
+  let doc =
+    "Flush every completed search shard to $(docv) (atomic per-shard files), \
+     so an interrupted or killed run can be picked up with $(b,--resume)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from the shard checkpoints in $(docv): only missing shards are \
+     re-explored, and a run that completes this way produces the same \
+     report as an uninterrupted one. Implies $(b,--checkpoint-dir) $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
+
 let verbose_arg =
   let doc = "Also print the symbolic Trojan expressions." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
@@ -144,6 +179,26 @@ let parse_mask target = function
   | None -> target.default_mask
   | Some s -> Some (String.split_on_char ',' s |> List.map String.trim)
 
+(* SIGINT/SIGTERM flip a flag the search polls at every branch constraint:
+   in-flight shards wind down, completed shards are kept (and checkpointed
+   when --checkpoint-dir is set), and a partial report is still printed —
+   with its coverage block flagging the interruption — before exiting 3. *)
+let interrupted = Atomic.make false
+
+let install_signal_handlers () =
+  let handle signal =
+    try
+      Sys.set_signal signal
+        (Sys.Signal_handle (fun _ -> Atomic.set interrupted true))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  handle Sys.sigint;
+  handle Sys.sigterm
+
+(* 0 = complete coverage, 3 = partial (interrupted or failed shards) *)
+let exit_code_of (report : Search.report) =
+  if Search.coverage_complete report.Search.coverage then 0 else 3
+
 (* --- commands -------------------------------------------------------------------- *)
 
 let list_cmd =
@@ -156,12 +211,22 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the bundled target systems")
     Term.(const run $ const ())
 
-let analyze name mask witnesses no_drop no_df no_prune verbose explain domains =
+let analyze name mask witnesses no_drop no_df no_prune verbose explain domains
+    deadline solver_budget checkpoint_dir resume =
   match find_target name with
   | Error e ->
       Format.eprintf "%s@." e;
       1
   | Ok target ->
+      install_signal_handlers ();
+      let solver_budget =
+        match (deadline, solver_budget) with
+        | None, None -> None
+        | deadline, conflicts -> Some (Solver.budget ?deadline ?conflicts ())
+      in
+      let checkpoint_dir =
+        match resume with Some dir -> Some dir | None -> checkpoint_dir
+      in
       let config =
         {
           Search.default_config with
@@ -174,6 +239,10 @@ let analyze name mask witnesses no_drop no_df no_prune verbose explain domains =
           Search.explain_drops = explain;
           Search.interp = target.interp;
           Search.domains = domains;
+          Search.solver_budget;
+          Search.checkpoint_dir;
+          Search.resume = resume <> None;
+          Search.cancel = (fun () -> Atomic.get interrupted);
         }
       in
       let analysis =
@@ -202,14 +271,23 @@ let analyze name mask witnesses no_drop no_df no_prune verbose explain domains =
               d.Search.conflicting)
           analysis.Achilles.report.Search.drops
       end;
-      0
+      exit_code_of analysis.Achilles.report
 
 let analyze_cmd =
   Cmd.v
-    (Cmd.info "analyze" ~doc:"Search a target system for Trojan messages")
+    (Cmd.info "analyze" ~doc:"Search a target system for Trojan messages"
+       ~man:
+         [
+           `S Cmdliner.Manpage.s_exit_status;
+           `P
+             "0 on complete coverage; 3 when the report is partial \
+              (interrupted by SIGINT/SIGTERM, or shards failed after \
+              retries); 1 on usage or target errors.";
+         ])
     Term.(
       const analyze $ target_arg $ mask_arg $ witnesses_arg $ no_drop_arg
-      $ no_df_arg $ no_prune_arg $ verbose_arg $ explain_arg $ domains_arg)
+      $ no_df_arg $ no_prune_arg $ verbose_arg $ explain_arg $ domains_arg
+      $ deadline_arg $ solver_budget_arg $ checkpoint_dir_arg $ resume_arg)
 
 let predicate name =
   match find_target name with

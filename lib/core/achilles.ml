@@ -50,6 +50,12 @@ let trojans analysis = analysis.report.Search.trojans
 
 let pp_summary fmt analysis =
   let stats = analysis.report.Search.search_stats in
+  let unconfirmed =
+    List.length
+      (List.filter
+         (fun (t : Search.trojan) -> not t.Search.confirmed)
+         analysis.report.Search.trojans)
+  in
   Format.fprintf fmt
     "@[<v>Achilles analysis summary@,\
      \  client paths:        %d (from %d programs, %.2fs)@,\
@@ -59,7 +65,8 @@ let pp_summary fmt analysis =
      \  rejecting paths:     %d@,\
      \  states pruned:       %d@,\
      \  alive-set checks:    %d (+%d transitive drops)@,\
-     \  Trojan witnesses:    %d@]"
+     \  Trojan witnesses:    %d%s@,\
+     %a@]"
     (Predicate.client_path_count analysis.client)
     analysis.client_stats.Client_extract.programs
     analysis.timing.client_extraction analysis.timing.preprocessing
@@ -73,3 +80,6 @@ let pp_summary fmt analysis =
     stats.Search.rejecting_paths stats.Search.pruned_states
     stats.Search.alive_checks stats.Search.transitive_drops
     (List.length analysis.report.Search.trojans)
+    (if unconfirmed > 0 then Printf.sprintf " (%d unconfirmed)" unconfirmed
+     else "")
+    Report.pp_coverage analysis.report.Search.coverage

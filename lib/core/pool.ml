@@ -167,6 +167,38 @@ let parallel_map p f arr =
     Array.map (function Some r -> r | None -> assert false) results
   end
 
+type 'b outcome = { result : ('b, exn) result; attempts : int }
+
+(* Fault-isolated variant of [parallel_map]: a task that raises is retried
+   in place (with a backoff sleep inside the worker — tasks are coarse, so
+   occupying the worker for the sleep is cheaper than re-enqueueing) and,
+   once the retry cap is spent, recorded as [Error] in its slot instead of
+   aborting the batch. The batch itself never raises. *)
+let map_with_retries ?(retries = 2)
+    ?(backoff = fun attempt -> 0.05 *. (2. ** float_of_int attempt)) p f arr =
+  if retries < 0 then invalid_arg "Pool.map_with_retries: negative retries";
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    run_tasks p
+      (Array.init n (fun i () ->
+           let rec attempt k =
+             match f arr.(i) with
+             | v -> results.(i) <- Some { result = Ok v; attempts = k + 1 }
+             | exception exn ->
+                 if k < retries then begin
+                   let pause = backoff k in
+                   if pause > 0. then Unix.sleepf pause;
+                   attempt (k + 1)
+                 end
+                 else
+                   results.(i) <- Some { result = Error exn; attempts = k + 1 }
+           in
+           attempt 0));
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
 let shutdown p =
   Mutex.lock p.mutex;
   if p.stopping then Mutex.unlock p.mutex

@@ -31,6 +31,25 @@ val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 val run_tasks : t -> (unit -> unit) array -> unit
 (** [parallel_map] for effectful tasks without results. *)
 
+type 'b outcome = {
+  result : ('b, exn) result;
+  attempts : int;  (** total attempts made, >= 1 *)
+}
+
+val map_with_retries :
+  ?retries:int ->
+  ?backoff:(int -> float) ->
+  t ->
+  ('a -> 'b) ->
+  'a array ->
+  'b outcome array
+(** Fault-isolated [parallel_map]: a task that raises is retried in place up
+    to [retries] more times (default 2), sleeping [backoff attempt] seconds
+    before retry [attempt + 1] (default exponential, 50 ms doubling), and is
+    recorded as [Error] once the cap is spent — the batch always completes
+    and never re-raises a task exception. Raises [Invalid_argument] on
+    negative [retries], a shut-down pool, or an in-flight batch. *)
+
 val shutdown : t -> unit
 (** Stop the workers and join their domains. Idempotent. Must not be called
     while a batch is in flight. *)

@@ -29,9 +29,44 @@ let pp_witness layout fmt witness =
 
 let pp_trojan layout fmt (t : Search.trojan) =
   Format.fprintf fmt
-    "@[<v>Trojan message (server path %d, accept label %S, found at %.2fs):@,%a@]"
+    "@[<v>Trojan message (server path %d, accept label %S, found at %.2fs)%s:@,%a@]"
     t.Search.server_state_id t.Search.accept_label t.Search.found_at
+    (if t.Search.confirmed then ""
+     else " [UNCONFIRMED: witness query exhausted its solver budget]")
     (pp_witness layout) t.Search.witness
+
+let pp_coverage fmt (c : Search.coverage) =
+  Format.fprintf fmt "@[<v>Coverage: %s@,"
+    (if Search.coverage_complete c then "complete" else "PARTIAL");
+  Format.fprintf fmt "  shards          %d/%d completed" c.Search.completed_shards
+    c.Search.total_shards;
+  if c.Search.resumed_shards > 0 then
+    Format.fprintf fmt " (%d resumed from checkpoint)" c.Search.resumed_shards;
+  Format.fprintf fmt "@,";
+  (match c.Search.failed_shards with
+  | [] -> ()
+  | failed ->
+      Format.fprintf fmt "  failed shards   %s@,"
+        (String.concat ", " (List.map string_of_int failed)));
+  if c.Search.shard_retry_attempts > 0 then
+    Format.fprintf fmt "  shard retries   %d@," c.Search.shard_retry_attempts;
+  if c.Search.interrupted then
+    Format.fprintf fmt "  interrupted     yes (%d states abandoned)@,"
+      c.Search.abandoned_states;
+  if
+    c.Search.unknown_alive > 0 || c.Search.unknown_prune > 0
+    || c.Search.unknown_witness > 0
+  then
+    Format.fprintf fmt
+      "  solver Unknowns %d alive (kept alive), %d prune (kept state), %d \
+       witness (unconfirmed)@,"
+      c.Search.unknown_alive c.Search.unknown_prune c.Search.unknown_witness;
+  if c.Search.budget_exhaustions > 0 then
+    Format.fprintf fmt "  budget blown    %d escalation ladders@,"
+      c.Search.budget_exhaustions;
+  if c.Search.injected_faults > 0 then
+    Format.fprintf fmt "  injected faults %d@," c.Search.injected_faults;
+  Format.fprintf fmt "@]"
 
 let discovery_curve ~total trojans =
   let total = max total 1 in
@@ -103,6 +138,9 @@ let add_trojan buf (t : Search.trojan) =
     (fun (v : Term.var) ->
       Buffer.add_string buf (Printf.sprintf "%s#%d," v.Term.name v.Term.id))
     t.Search.msg_vars;
+  (* only degraded runs produce unconfirmed trojans, so fault-free digests
+     (the pinned goldens) are unchanged by this marker *)
+  if not t.Search.confirmed then Buffer.add_string buf " unconfirmed";
   Buffer.add_char buf '\n'
 
 let discovery_digest (r : Search.report) =
@@ -151,6 +189,19 @@ let report_digest (r : Search.report) =
         (Printf.sprintf "A %d %d %d\n" a.Search.state_id a.Search.path_length
            a.Search.alive))
     s.Search.alive_samples;
+  (* Coverage enters the digest only when the run is incomplete: a partial
+     report must never collide with the complete one (resume correctness is
+     checked by exactly this digest), while complete runs — degraded or not
+     — keep the digest the determinism suite pinned before coverage
+     existed. Unknown-degradation on a complete run is already visible
+     above through the per-trojan "unconfirmed" markers. *)
+  let c = r.Search.coverage in
+  if not (Search.coverage_complete c) then
+    Buffer.add_string buf
+      (Printf.sprintf "C partial %d/%d failed=[%s] interrupted=%b\n"
+         c.Search.completed_shards c.Search.total_shards
+         (String.concat "," (List.map string_of_int c.Search.failed_shards))
+         c.Search.interrupted);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 (* --- grammar summaries ---------------------------------------------------- *)

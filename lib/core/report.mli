@@ -8,6 +8,14 @@ val pp_witness : Layout.t -> Format.formatter -> Bv.t array -> unit
 (** Decode a concrete message per the layout, one line per field. *)
 
 val pp_trojan : Layout.t -> Format.formatter -> Search.trojan -> unit
+(** Unconfirmed trojans (witness query degraded to [Unknown]) are marked as
+    such in the rendering. *)
+
+val pp_coverage : Format.formatter -> Search.coverage -> unit
+(** The honest-accounting block: shard completion/failures/retries/resumes,
+    interruption, solver Unknown counts by site, budget exhaustions and
+    injected faults. Quiet counters are omitted; a fault-free complete run
+    renders as a single "complete" line. *)
 
 val discovery_curve :
   total:int -> Search.trojan list -> (float * float) list
@@ -34,8 +42,13 @@ val render_ascii_curve :
 
 val report_digest : Search.report -> string
 (** Trojans (state id, label, witness bytes, symbolic expression, message
-    variables), accepting server paths, drop events (sans cores), counter
-    stats, and alive samples. *)
+    variables, plus an [unconfirmed] marker on budget-degraded ones),
+    accepting server paths, drop events (sans cores), counter stats, and
+    alive samples. Coverage is included {e only for incomplete runs}
+    (failed shards or interruption): a partial report can never digest
+    equal to the complete one, while complete runs keep the pre-coverage
+    digest — so fault-free goldens stay pinned and a resumed run that
+    completes reproduces the uninterrupted digest byte-for-byte. *)
 
 val discovery_digest : Search.report -> string
 (** Only the discovery series of Figure 10: the ordered trojan list. *)

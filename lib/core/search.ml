@@ -20,6 +20,19 @@ type config = {
   interp : Interp.config;
   domains : int;
   split_bits : int option;
+  solver_budget : Solver.budget option;
+      (* ambient per-query budget installed in every search worker *)
+  shard_retries : int; (* extra attempts per raising shard task *)
+  shard_backoff : int -> float; (* seconds to sleep before retry [n+1] *)
+  checkpoint_dir : string option;
+      (* flush each completed shard's event log here (atomically) *)
+  resume : bool; (* reuse matching shard checkpoints already in the dir *)
+  cancel : unit -> bool;
+      (* polled cooperative interrupt: when it turns true, in-flight
+         exploration stops and only already-completed shards are reported *)
+  chaos : (shard_index:int -> attempt:int -> unit) option;
+      (* test hook run at each shard attempt start; may raise to simulate
+         a crashing worker *)
 }
 
 let domains_from_env () =
@@ -44,6 +57,13 @@ let default_config =
     interp = Interp.default_config;
     domains = domains_from_env ();
     split_bits = None;
+    solver_budget = None;
+    shard_retries = 2;
+    shard_backoff = (fun attempt -> 0.05 *. (2. ** float_of_int attempt));
+    checkpoint_dir = None;
+    resume = false;
+    cancel = (fun () -> false);
+    chaos = None;
   }
 
 type trojan = {
@@ -52,6 +72,9 @@ type trojan = {
   witness : Bv.t array;
   symbolic : Term.t list;
   msg_vars : Term.var array;
+  confirmed : bool;
+      (* false: the witness query went Unknown, so the symbolic expression
+         stands but no concrete message was extracted (witness is zeros) *)
   found_at : float;
 }
 
@@ -75,11 +98,35 @@ type stats = {
   wall_time : float;
 }
 
+(* Honest accounting of everything that degraded a run: failed or resumed
+   shards, Unknown answers by query site, budget exhaustions, injected
+   faults, cancellation. A pristine run has [coverage_complete] true and
+   all-zero degradation counters. *)
+type coverage = {
+  total_shards : int;
+  completed_shards : int; (* shards whose event log made the report *)
+  failed_shards : int list; (* shard indices that exhausted their retries *)
+  resumed_shards : int; (* completed shards loaded from a checkpoint *)
+  shard_retry_attempts : int; (* extra shard attempts spent on retries *)
+  interrupted : bool; (* the cooperative cancel fired *)
+  unknown_alive : int; (* alive-check Unknowns: client path kept alive *)
+  unknown_prune : int; (* prune-check Unknowns: state kept *)
+  unknown_witness : int; (* witness Unknowns: trojan emitted unconfirmed *)
+  budget_exhaustions : int;
+  injected_faults : int;
+  abandoned_states : int; (* states cut off by cancellation *)
+}
+
+let coverage_complete c =
+  c.completed_shards = c.total_shards
+  && c.failed_shards = [] && not c.interrupted
+
 type report = {
   trojans : trojan list;
   accepting : Predicate.server_path list;
   drops : drop_explanation list; (* populated when [explain_drops] is set *)
   search_stats : stats;
+  coverage : coverage;
 }
 
 (* --- parallel-mode event log ----------------------------------------------
@@ -109,6 +156,7 @@ type wtrojan = {
   wt_witness : Bv.t array;
   wt_symbolic : Term.t list;
   wt_msg_vars : Term.var array;
+  wt_confirmed : bool;
   wt_found_at : float;
 }
 
@@ -135,6 +183,13 @@ type recorder = {
   mutable rec_accepting : waccept list;
   mutable rec_drops : wdrop list;
   mutable rec_forks : int;
+  (* degradation accounting (coverage block), owner-deduplicated like the
+     other events *)
+  mutable rec_unknown_alive : int;
+  mutable rec_unknown_prune : int;
+  mutable rec_unknown_witness : int;
+  mutable rec_exhaustions : int; (* solver-stat delta over the task *)
+  mutable rec_faults : int;
 }
 
 let fresh_recorder () =
@@ -146,6 +201,11 @@ let fresh_recorder () =
     rec_accepting = [];
     rec_drops = [];
     rec_forks = 0;
+    rec_unknown_alive = 0;
+    rec_unknown_prune = 0;
+    rec_unknown_witness = 0;
+    rec_exhaustions = 0;
+    rec_faults = 0;
   }
 
 (* Mutable search context shared by the interpreter hooks. *)
@@ -173,6 +233,10 @@ type search_ctx = {
   mutable n_pruned : int;
   mutable n_alive_checks : int;
   mutable n_transitive : int;
+  mutable n_unknown_alive : int;
+  mutable n_unknown_prune : int;
+  mutable n_unknown_witness : int;
+  mutable n_abandoned : int; (* states cut off by cancellation *)
   started : float;
 }
 
@@ -243,11 +307,21 @@ let session_for ctx idx =
       Hashtbl.replace ctx.sessions idx s;
       s
 
-(* pathS /\ bind(pathCi) unsatisfiable? The hot query of the search. *)
-let binding_incompatible ctx idx (st : State.t) =
-  if ctx.cfg.incremental_bindings then
-    Solver.Incremental.is_unsat (session_for ctx idx) st.State.path
-  else Solver.is_unsat (List.rev_append st.State.path (binding_for ctx idx))
+(* pathS /\ bind(pathCi) unsatisfiable? The hot query of the search.
+   [Unknown] (budget exhausted, fault injected) must keep the client path
+   alive: an alive path only adds its — then implied — negation to the
+   Trojan query, whereas a wrong drop would delete a conjunct and admit
+   spurious Trojans. Degrading towards "alive" is the sound direction. *)
+let binding_check ctx idx (st : State.t) =
+  let r =
+    if ctx.cfg.incremental_bindings then
+      Solver.Incremental.check (session_for ctx idx) st.State.path
+    else Solver.check (List.rev_append st.State.path (binding_for ctx idx))
+  in
+  match r with
+  | Solver.Unsat -> `Incompatible
+  | Solver.Sat _ -> `Compatible
+  | Solver.Unknown -> `Unknown
 
 let alive_for ctx (st : State.t) =
   match Hashtbl.find_opt ctx.alive st.State.id with
@@ -277,6 +351,13 @@ let trojan_query ctx (st : State.t) alive =
 (* The incremental step: update the alive set for the new constraint, then
    decide whether any Trojan message can still trigger this state. *)
 let on_constraint ctx (st : State.t) cond =
+  if ctx.cfg.cancel () then begin
+    (* cooperative interrupt: stop growing this subtree; the state ends
+       [Dropped] and the surrounding shard is reported incomplete *)
+    ctx.n_abandoned <- ctx.n_abandoned + 1;
+    false
+  end
+  else
   match st.State.msg_vars with
   | None -> true (* constraints before the message arrives: nothing to do *)
   | Some vars ->
@@ -312,7 +393,15 @@ let on_constraint ctx (st : State.t) cond =
             (fun i ->
               if not (Hashtbl.mem dropped i) then begin
                 incr checks_here;
-                if binding_incompatible ctx i st then begin
+                match binding_check ctx i st with
+                | `Compatible -> ()
+                | `Unknown ->
+                    (* sound degradation: an undecided compatibility keeps
+                       the client path alive (its negation stays in the
+                       Trojan query, over- rather than under-constraining) *)
+                    if recording then
+                      ctx.n_unknown_alive <- ctx.n_unknown_alive + 1
+                | `Incompatible ->
                   if
                     recording && ctx.cfg.explain_drops
                     && ctx.cfg.incremental_bindings
@@ -344,7 +433,6 @@ let on_constraint ctx (st : State.t) cond =
                   end;
                   Hashtbl.replace dropped i ();
                   maybe_transitive_drop i
-                end
               end)
             alive;
           List.filter (fun i -> not (Hashtbl.mem dropped i)) alive
@@ -355,7 +443,15 @@ let on_constraint ctx (st : State.t) cond =
       Hashtbl.replace ctx.alive st.State.id alive;
       let pruned =
         ctx.cfg.prune_no_trojan
-        && not (Solver.is_sat (trojan_query ctx st alive))
+        &&
+        match Solver.check (trojan_query ctx st alive) with
+        | Solver.Unsat -> true
+        | Solver.Sat _ -> false
+        | Solver.Unknown ->
+            (* sound degradation: only a proven-Trojan-free state may be
+               pruned; an undecided query keeps the state alive *)
+            if recording then ctx.n_unknown_prune <- ctx.n_unknown_prune + 1;
+            false
       in
       if pruned then ctx.n_pruned <- ctx.n_pruned + 1;
       if recording then begin
@@ -446,37 +542,49 @@ let emit_trojans ctx (st : State.t) label =
                        (fun i v -> Term.eq (Term.var vars.(i)) (Term.const v))
                        witness)))
       in
+      let emit ~n ~confirmed witness =
+        let found_at = Unix.gettimeofday () -. ctx.started in
+        match ctx.recorder with
+        | None ->
+            ctx.trojans_rev <-
+              {
+                server_state_id = st.State.id;
+                accept_label = label;
+                witness;
+                symbolic = base_query;
+                msg_vars = vars;
+                confirmed;
+                found_at;
+              }
+              :: ctx.trojans_rev
+        | Some r ->
+            r.rec_trojans <-
+              {
+                wt_route = st.State.route;
+                wt_idx = n;
+                wt_label = label;
+                wt_witness = witness;
+                wt_symbolic = base_query;
+                wt_msg_vars = vars;
+                wt_confirmed = confirmed;
+                wt_found_at = found_at;
+              }
+              :: r.rec_trojans
+      in
       let rec enumerate blocked n =
         if n < ctx.cfg.witnesses_per_path then
-          match Solver.get_model (List.rev_append blocked base_query) with
-          | None -> ()
-          | Some model ->
+          match Solver.check (List.rev_append blocked base_query) with
+          | Solver.Unsat -> ()
+          | Solver.Unknown ->
+              (* sound degradation: the accepting state is reported with its
+                 symbolic Trojan expression but no extracted message —
+                 an over-approximation flagged [unconfirmed], never a
+                 silently dropped Trojan *)
+              ctx.n_unknown_witness <- ctx.n_unknown_witness + 1;
+              emit ~n ~confirmed:false (Array.map (fun _ -> Bv.zero 8) vars)
+          | Solver.Sat model ->
               let witness = witness_of_model vars model in
-              let found_at = Unix.gettimeofday () -. ctx.started in
-              (match ctx.recorder with
-              | None ->
-                  ctx.trojans_rev <-
-                    {
-                      server_state_id = st.State.id;
-                      accept_label = label;
-                      witness;
-                      symbolic = base_query;
-                      msg_vars = vars;
-                      found_at;
-                    }
-                    :: ctx.trojans_rev
-              | Some r ->
-                  r.rec_trojans <-
-                    {
-                      wt_route = st.State.route;
-                      wt_idx = n;
-                      wt_label = label;
-                      wt_witness = witness;
-                      wt_symbolic = base_query;
-                      wt_msg_vars = vars;
-                      wt_found_at = found_at;
-                    }
-                    :: r.rec_trojans);
+              emit ~n ~confirmed:true witness;
               enumerate (block witness :: blocked) (n + 1)
       in
       enumerate [] 0
@@ -546,6 +654,10 @@ let make_ctx ~config ~client ~different_from ~shard ~recorder ~started =
     n_pruned = 0;
     n_alive_checks = 0;
     n_transitive = 0;
+    n_unknown_alive = 0;
+    n_unknown_prune = 0;
+    n_unknown_witness = 0;
+    n_abandoned = 0;
     started;
   }
 
@@ -564,7 +676,16 @@ let run_sequential ~config ~different_from ~client ~server ~started =
     make_ctx ~config ~client ~different_from ~shard:None ~recorder:None
       ~started
   in
-  let run_result = Interp.run ~config:config.interp ~hooks:(hooks_of ctx) server in
+  let solver_stats = Solver.stats () in
+  let exhaustions0 = solver_stats.Solver.budget_exhaustions in
+  let faults0 = solver_stats.Solver.injected_faults in
+  let saved_budget = Solver.get_budget () in
+  Solver.set_budget config.solver_budget;
+  let run_result =
+    Fun.protect
+      ~finally:(fun () -> Solver.set_budget saved_budget)
+      (fun () -> Interp.run ~config:config.interp ~hooks:(hooks_of ctx) server)
+  in
   let stats =
     {
       accepting_paths = ctx.n_accepting;
@@ -578,11 +699,30 @@ let run_sequential ~config ~different_from ~client ~server ~started =
       wall_time = Unix.gettimeofday () -. started;
     }
   in
+  let interrupted = config.cancel () in
+  let coverage =
+    {
+      total_shards = 1;
+      completed_shards = (if interrupted then 0 else 1);
+      failed_shards = [];
+      resumed_shards = 0;
+      shard_retry_attempts = 0;
+      interrupted;
+      unknown_alive = ctx.n_unknown_alive;
+      unknown_prune = ctx.n_unknown_prune;
+      unknown_witness = ctx.n_unknown_witness;
+      budget_exhaustions =
+        solver_stats.Solver.budget_exhaustions - exhaustions0;
+      injected_faults = solver_stats.Solver.injected_faults - faults0;
+      abandoned_states = ctx.n_abandoned;
+    }
+  in
   {
     trojans = List.rev ctx.trojans_rev;
     accepting = List.rev ctx.accepting_rev;
     drops = List.rev ctx.drops_rev;
     search_stats = stats;
+    coverage;
   }
 
 (* --- parallel mode ---------------------------------------------------------
@@ -600,6 +740,75 @@ let run_sequential ~config ~different_from ~client ~server ~started =
 
 module String_set = Set.Make (String)
 
+(* --- shard checkpoints ------------------------------------------------------
+
+   Each completed shard's event log is flushed to its own file, written to a
+   temporary name and renamed — atomic on POSIX — so a run killed at any
+   moment (including SIGKILL) leaves only whole shard files behind.
+   [resume] then re-explores exactly the missing shards: because every
+   shard task replays the same fresh-variable base and owns disjoint
+   routes, a merge of loaded and re-explored shards is indistinguishable
+   from an uninterrupted run (the determinism guarantee extends across
+   process boundaries). *)
+
+let ckpt_magic = "ACHILLES-CKPT-1"
+
+(* Identity of a run for resume purposes: everything that changes the shard
+   decomposition or per-shard event logs. Closure-valued config fields
+   ([distinct_by], [interp.auto_classify]) cannot be fingerprinted; resume
+   assumes they are unchanged. *)
+let run_fingerprint ~bits ~config ~client ~server =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( ckpt_magic,
+            bits,
+            config.drop_alive,
+            config.use_different_from,
+            config.prune_no_trojan,
+            config.check_overlap,
+            config.incremental_bindings,
+            config.explain_drops,
+            config.mask,
+            config.witnesses_per_path,
+            client,
+            server )
+          []))
+
+let shard_file dir idx =
+  Filename.concat dir (Printf.sprintf "shard-%04d.ckpt" idx)
+
+let write_shard_checkpoint ~dir ~fingerprint ~idx (recorder, counter) =
+  let path = shard_file dir idx in
+  let tmp = Printf.sprintf "%s.tmp.%d" path idx in
+  let oc = open_out_bin tmp in
+  Marshal.to_channel oc (ckpt_magic, fingerprint, idx, recorder, counter) [];
+  close_out oc;
+  Sys.rename tmp path
+
+let load_shard_checkpoint ~dir ~fingerprint ~idx : (recorder * int) option =
+  let path = shard_file dir idx in
+  if not (Sys.file_exists path) then None
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          (Marshal.from_channel ic : string * string * int * recorder * int))
+    with
+    | magic, fp, i, r, c when magic = ckpt_magic && fp = fingerprint && i = idx
+      ->
+        Some (r, c)
+    | _ -> None
+    | exception _ -> None (* torn or foreign file: re-explore the shard *)
+
+let ensure_checkpoint_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg
+      (Printf.sprintf "Search: checkpoint dir %S is not a directory" dir)
+
 let ceil_log2 n =
   let rec go b = if 1 lsl b >= n then b else go (b + 1) in
   go 0
@@ -615,28 +824,123 @@ let run_parallel ~config ~different_from ~client ~server ~started =
   let bits = split_bits_of config in
   let n_tasks = 1 lsl bits in
   let base = Term.fresh_counter_value () in
-  let task idx =
-    let shard = { Interp.shard_index = idx; Interp.shard_bits = bits } in
-    (* replay the sequential fresh-variable id sequence inside this shard *)
-    Term.set_fresh_counter base;
-    let recorder = fresh_recorder () in
-    let ctx =
-      make_ctx ~config ~client ~different_from ~shard:(Some shard)
-        ~recorder:(Some recorder) ~started
-    in
-    let iconfig = { config.interp with Interp.shard = Some shard } in
-    ignore (Interp.run ~config:iconfig ~hooks:(hooks_of ctx) server);
-    (recorder, Term.fresh_counter_value ())
+  let fingerprint =
+    match config.checkpoint_dir with
+    | Some dir ->
+        ensure_checkpoint_dir dir;
+        run_fingerprint ~bits ~config ~client ~server
+    | None -> ""
   in
-  let outs =
-    Pool.with_pool ~domains:config.domains (fun pool ->
-        Pool.parallel_map pool task (Array.init n_tasks Fun.id))
+  let loaded =
+    Array.init n_tasks (fun idx ->
+        match config.checkpoint_dir with
+        | Some dir when config.resume ->
+            load_shard_checkpoint ~dir ~fingerprint ~idx
+        | _ -> None)
+  in
+  let abandoned = Atomic.make 0 in
+  let attempts_seen = Array.make n_tasks 0 in
+  let task idx =
+    (* [attempts_seen.(idx)] is touched only by the worker currently running
+       shard [idx] — retries happen in place on that same worker. *)
+    let attempt = attempts_seen.(idx) in
+    attempts_seen.(idx) <- attempt + 1;
+    (match config.chaos with
+    | Some hook -> hook ~shard_index:idx ~attempt
+    | None -> ());
+    if config.cancel () then None
+    else begin
+      let shard = { Interp.shard_index = idx; Interp.shard_bits = bits } in
+      (* replay the sequential fresh-variable id sequence inside this shard *)
+      Term.set_fresh_counter base;
+      Solver.set_budget config.solver_budget;
+      let solver_stats = Solver.stats () in
+      let exhaustions0 = solver_stats.Solver.budget_exhaustions in
+      let faults0 = solver_stats.Solver.injected_faults in
+      let recorder = fresh_recorder () in
+      let ctx =
+        make_ctx ~config ~client ~different_from ~shard:(Some shard)
+          ~recorder:(Some recorder) ~started
+      in
+      let iconfig = { config.interp with Interp.shard = Some shard } in
+      ignore (Interp.run ~config:iconfig ~hooks:(hooks_of ctx) server);
+      ignore (Atomic.fetch_and_add abandoned ctx.n_abandoned);
+      if config.cancel () then
+        (* the event log is partial: neither checkpoint nor merge it *)
+        None
+      else begin
+        recorder.rec_unknown_alive <- ctx.n_unknown_alive;
+        recorder.rec_unknown_prune <- ctx.n_unknown_prune;
+        recorder.rec_unknown_witness <- ctx.n_unknown_witness;
+        recorder.rec_exhaustions <-
+          solver_stats.Solver.budget_exhaustions - exhaustions0;
+        recorder.rec_faults <- solver_stats.Solver.injected_faults - faults0;
+        let out = (recorder, Term.fresh_counter_value ()) in
+        (match config.checkpoint_dir with
+        | Some dir -> write_shard_checkpoint ~dir ~fingerprint ~idx out
+        | None -> ());
+        Some out
+      end
+    end
+  in
+  let missing =
+    Array.of_list
+      (List.filter
+         (fun idx -> loaded.(idx) = None)
+         (List.init n_tasks Fun.id))
+  in
+  let outcomes =
+    if Array.length missing = 0 then [||]
+    else
+      Pool.with_pool ~domains:config.domains (fun pool ->
+          Pool.map_with_retries ~retries:config.shard_retries
+            ~backoff:config.shard_backoff pool task missing)
+  in
+  let shard_results =
+    Array.map
+      (function Some out -> `Done (out, true) | None -> `Missing)
+      loaded
+  in
+  Array.iteri
+    (fun k idx ->
+      match outcomes.(k).Pool.result with
+      | Ok (Some out) -> shard_results.(idx) <- `Done (out, false)
+      | Ok None -> () (* cancelled before completing: stays missing *)
+      | Error _ -> shard_results.(idx) <- `Failed)
+    missing;
+  let outs_resumed =
+    List.filter_map
+      (function `Done (out, resumed) -> Some (out, resumed) | _ -> None)
+      (Array.to_list shard_results)
+  in
+  let outs = List.map fst outs_resumed in
+  let failed_shards =
+    List.filter_map Fun.id
+      (List.init n_tasks (fun idx ->
+           match shard_results.(idx) with `Failed -> Some idx | _ -> None))
+  in
+  let sum f = List.fold_left (fun acc (r, _) -> acc + f r) 0 outs in
+  let coverage =
+    {
+      total_shards = n_tasks;
+      completed_shards = List.length outs;
+      failed_shards;
+      resumed_shards = List.length (List.filter snd outs_resumed);
+      shard_retry_attempts =
+        Array.fold_left (fun acc o -> acc + o.Pool.attempts - 1) 0 outcomes;
+      interrupted = config.cancel ();
+      unknown_alive = sum (fun r -> r.rec_unknown_alive);
+      unknown_prune = sum (fun r -> r.rec_unknown_prune);
+      unknown_witness = sum (fun r -> r.rec_unknown_witness);
+      budget_exhaustions = sum (fun r -> r.rec_exhaustions);
+      injected_faults = sum (fun r -> r.rec_faults);
+      abandoned_states = Atomic.get abandoned;
+    }
   in
   (* keep the coordinating domain's counter ahead of every id any worker
      allocated, so later analyses cannot reuse ids live in this report *)
-  let top = Array.fold_left (fun acc (_, c) -> max acc c) base outs in
+  let top = List.fold_left (fun acc (_, c) -> max acc c) base outs in
   Term.set_fresh_counter (max top (Term.fresh_counter_value ()));
-  let outs = Array.to_list outs in
   (* Sequential ids are assigned in depth-first creation order, and the
      interpreter forks true-branch first, so creation order is exactly the
      lexicographic order of routes. Rank = sequential id. *)
@@ -687,6 +991,7 @@ let run_parallel ~config ~different_from ~client ~server ~started =
             witness = w.wt_witness;
             symbolic = w.wt_symbolic;
             msg_vars = w.wt_msg_vars;
+            confirmed = w.wt_confirmed;
             found_at;
           } ))
       0. trojans_sorted
@@ -745,10 +1050,10 @@ let run_parallel ~config ~different_from ~client ~server ~started =
       wall_time = Unix.gettimeofday () -. started;
     }
   in
-  { trojans; accepting; drops; search_stats = stats }
+  { trojans; accepting; drops; search_stats = stats; coverage }
 
 let run ?(config = default_config) ?different_from ~client ~server () =
   let started = Unix.gettimeofday () in
-  if config.domains <= 1 then
-    run_sequential ~config ~different_from ~client ~server ~started
+  if config.domains <= 1 && config.checkpoint_dir = None && not config.resume
+  then run_sequential ~config ~different_from ~client ~server ~started
   else run_parallel ~config ~different_from ~client ~server ~started

@@ -59,11 +59,35 @@ type config = {
   split_bits : int option;
       (* route shards = 2^split_bits (in [0,16]); [None] picks
          ceil(log2 domains) + 2, capped at 8 *)
+  solver_budget : Solver.budget option;
+      (* ambient solver budget installed for the run (per worker domain in
+         parallel mode); [None] leaves queries unbounded *)
+  shard_retries : int;
+      (* extra in-place attempts for a shard task that raises, before the
+         shard is recorded as failed (parallel mode) *)
+  shard_backoff : int -> float;
+      (* seconds to sleep before retry [attempt + 1]; default exponential,
+         50 ms doubling *)
+  checkpoint_dir : string option;
+      (* when set (parallel mode), every completed shard's event log is
+         flushed to [dir/shard-NNNN.ckpt] via an atomic rename *)
+  resume : bool;
+      (* with [checkpoint_dir]: load valid shard checkpoints and re-explore
+         only the missing shards *)
+  cancel : unit -> bool;
+      (* cooperative cancellation, polled at every branch constraint; once
+         true, in-flight shards abandon exploration and the report is
+         assembled from the shards already complete *)
+  chaos : (shard_index:int -> attempt:int -> unit) option;
+      (* test hook run at the top of every shard attempt (raise to simulate
+         a shard crash and exercise the retry path) *)
 }
 
 val default_config : config
 (** [domains] defaults to [$ACHILLES_DOMAINS] when that is set to a positive
-    integer (read once at startup), else 1. *)
+    integer (read once at startup), else 1. Robustness defaults: no solver
+    budget, [shard_retries = 2] with exponential backoff, no checkpointing,
+    [cancel] constantly false, no chaos hook. *)
 
 type trojan = {
   server_state_id : int;
@@ -71,6 +95,12 @@ type trojan = {
   witness : Bv.t array; (* a concrete Trojan message *)
   symbolic : Term.t list; (* pathS /\ negations: the Trojan expression *)
   msg_vars : Term.var array;
+  confirmed : bool;
+      (* [true]: the witness was enumerated from a [Sat] answer. [false]:
+         the witness query came back [Unknown] (budget exhausted or fault
+         injected) — the symbolic expression is still sound, but the
+         all-zero placeholder witness is unverified and the accepting state
+         itself is only an over-approximation *)
   found_at : float; (* seconds since the search started *)
 }
 
@@ -99,11 +129,43 @@ type stats = {
   wall_time : float;
 }
 
+(** Honest accounting of what a (possibly degraded) run actually covered.
+
+    Soundness of the degradation paths: an [Unknown] alive check keeps the
+    client path alive (the implied negation stays in the Trojan query, so
+    the answer set only shrinks to the sound side); an [Unknown] prune check
+    keeps the state (more exploration, never less); an [Unknown] witness
+    query emits an {e unconfirmed} Trojan. Budget exhaustion therefore
+    over-approximates — it can add unconfirmed Trojans but never silently
+    drops a real one. Failed or cancelled shards, by contrast, are missing
+    coverage, which is why they are reported here instead of being folded
+    into a seemingly complete report. *)
+type coverage = {
+  total_shards : int; (* 1 in sequential mode *)
+  completed_shards : int;
+  failed_shards : int list; (* shard indices exhausted of retries *)
+  resumed_shards : int; (* loaded from checkpoints instead of explored *)
+  shard_retry_attempts : int; (* extra attempts across all shards *)
+  interrupted : bool; (* [cancel] fired during the run *)
+  unknown_alive : int; (* alive checks degraded to keep-alive *)
+  unknown_prune : int; (* prune checks degraded to keep-state *)
+  unknown_witness : int; (* witness queries degraded to unconfirmed *)
+  budget_exhaustions : int; (* solver escalation ladders ending Unknown *)
+  injected_faults : int; (* faults fired by {!Solver.set_fault_injection} *)
+  abandoned_states : int; (* states cut off by cancellation *)
+}
+
+val coverage_complete : coverage -> bool
+(** Every shard completed, none failed, not interrupted. A complete run may
+    still contain Unknown degradations — those over-approximate and are
+    visible per-trojan via [confirmed]. *)
+
 type report = {
   trojans : trojan list; (* discovery order *)
   accepting : Predicate.server_path list;
   drops : drop_explanation list; (* populated when [explain_drops] is set *)
   search_stats : stats;
+  coverage : coverage;
 }
 
 val run :

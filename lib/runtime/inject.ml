@@ -14,19 +14,26 @@ type confirmation = {
   total : int;
   accepted : int; (* witnesses the concrete server accepted *)
   rejected : int; (* would-be false positives *)
+  skipped : int; (* unconfirmed trojans: placeholder witnesses, not replayed *)
 }
 
-(* Replay every witness; a sound analysis shows [rejected = 0]. *)
+(* Replay every confirmed witness; a sound analysis shows [rejected = 0].
+   Unconfirmed trojans (witness query degraded to Unknown under a solver
+   budget) carry a placeholder witness that was never checked against the
+   Trojan expression — replaying it would report a spurious rejection, so
+   they are counted as skipped instead. *)
 let confirm ?(initial_globals = []) ~server trojans =
-  let accepted, rejected =
+  let accepted, rejected, skipped =
     List.fold_left
-      (fun (acc, rej) (t : Search.trojan) ->
-        match replay ~initial_globals ~server t.Search.witness with
-        | State.Accepted _ -> (acc + 1, rej)
-        | _ -> (acc, rej + 1))
-      (0, 0) trojans
+      (fun (acc, rej, skip) (t : Search.trojan) ->
+        if not t.Search.confirmed then (acc, rej, skip + 1)
+        else
+          match replay ~initial_globals ~server t.Search.witness with
+          | State.Accepted _ -> (acc + 1, rej, skip)
+          | _ -> (acc, rej + 1, skip))
+      (0, 0, 0) trojans
   in
-  { total = accepted + rejected; accepted; rejected }
+  { total = accepted + rejected + skipped; accepted; rejected; skipped }
 
 (* Double-check against a ground-truth oracle: how many witnesses are truly
    ungenerable (Trojan) vs. generable (false positives of the analysis)? *)
@@ -34,6 +41,8 @@ let check_against_oracle ~is_trojan trojans =
   List.partition (fun (t : Search.trojan) -> is_trojan t.Search.witness) trojans
 
 let pp_confirmation fmt c =
-  Format.fprintf fmt "replayed %d witnesses: %d accepted, %d rejected" c.total
+  Format.fprintf fmt "replayed %d witnesses: %d accepted, %d rejected%s" c.total
     c.accepted c.rejected
+    (if c.skipped > 0 then Printf.sprintf ", %d skipped (unconfirmed)" c.skipped
+     else "")
 

@@ -17,6 +17,9 @@ type confirmation = {
   total : int;
   accepted : int;  (** witnesses the concrete server accepted *)
   rejected : int;  (** would-be false positives *)
+  skipped : int;
+      (** unconfirmed trojans — their placeholder witnesses were never
+          solver-checked, so replaying them would be meaningless *)
 }
 
 val confirm :
@@ -24,7 +27,9 @@ val confirm :
   server:Ast.program ->
   Search.trojan list ->
   confirmation
-(** Replay every witness; a sound analysis shows [rejected = 0]. *)
+(** Replay every confirmed witness; a sound analysis shows [rejected = 0].
+    Trojans with [confirmed = false] are counted in [skipped], not
+    replayed. *)
 
 val check_against_oracle :
   is_trojan:(Bv.t array -> bool) ->

@@ -33,8 +33,17 @@ let node t addr = Hashtbl.find_opt t.nodes addr
 let set_fault t f = t.fault <- f
 let clear_fault t = t.fault <- None
 
-(* Flip one bit of one byte of every packet matching [when_]. *)
+(* Flip one bit of one byte of every packet matching [when_]. A [byte]
+   beyond a particular packet's payload leaves that packet intact (packet
+   sizes vary per receiver), but indices that can never address a bit —
+   negative [byte], [bit] outside [0, 7] — are rejected up front: silently
+   flipping nothing would make a corruption experiment vacuously pass. *)
 let bit_flip_fault ?(when_ = fun _ -> true) ~byte ~bit () =
+  if byte < 0 then
+    invalid_arg (Printf.sprintf "Net.bit_flip_fault: negative byte %d" byte);
+  if bit < 0 || bit > 7 then
+    invalid_arg
+      (Printf.sprintf "Net.bit_flip_fault: bit %d outside [0, 7]" bit);
   fun packet ->
     if not (when_ packet) then packet
     else begin
@@ -47,7 +56,22 @@ let bit_flip_fault ?(when_ = fun _ -> true) ~byte ~bit () =
 
 let send t ~src ~dst payload = Queue.push { src; dst; payload } t.queue
 
-let inject t ~dst payload = send t ~src:(-1) ~dst payload
+(* Unlike node-to-node [send] (whose mis-sized packets crash the receiver
+   observably, as a [Crashed] outcome), a mis-sized injected payload is a
+   harness bug — reject it at the call site when the receiver is already
+   routable and its expected size known. *)
+let inject t ~dst payload =
+  (match node t dst with
+  | Some receiver -> (
+      match Node.receive_size receiver with
+      | Some expected when expected <> Array.length payload ->
+          invalid_arg
+            (Printf.sprintf
+               "Net.inject: payload is %d bytes but node %d receives %d"
+               (Array.length payload) dst expected)
+      | _ -> ())
+  | None -> ());
+  send t ~src:(-1) ~dst payload
 
 (* Deliver the next queued packet; the receiving node's own sends are
    enqueued in turn. Returns the receiver outcome, or [None] on an empty

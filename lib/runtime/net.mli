@@ -26,11 +26,19 @@ val clear_fault : t -> unit
 
 val bit_flip_fault :
   ?when_:(packet -> bool) -> byte:int -> bit:int -> unit -> packet -> packet
-(** Flip one bit of one byte of each matching packet. *)
+(** Flip one bit of one byte of each matching packet. Raises
+    [Invalid_argument] (at construction) on a negative [byte] or a [bit]
+    outside [0, 7] — indices that could never address a bit would silently
+    corrupt nothing. A [byte] beyond a given packet's payload leaves that
+    packet unchanged. *)
 
 val send : t -> src:int -> dst:int -> Bv.t array -> unit
 val inject : t -> dst:int -> Bv.t array -> unit
-(** Inject a message from outside the system (source address -1). *)
+(** Inject a message from outside the system (source address -1). Raises
+    [Invalid_argument] when the destination node is routable and expects a
+    receive buffer of a different size than the payload
+    ({!Node.receive_size}); a mis-sized {e injected} message is a harness
+    bug, not a protocol behavior worth simulating. *)
 
 val step : t -> (packet * Concrete.outcome) option
 (** Deliver the next queued packet; the receiver's own sends are enqueued.

@@ -28,6 +28,32 @@ let name t = t.name
 let globals t = t.globals
 let delivered t = t.delivered
 
+(* The byte size this node expects of a delivered message: the buffer length
+   of the first [Receive] reachable in program order (main first, then
+   procedures). Handlers receive once up front, so the first is the one an
+   injected message lands in. [None] for programs that never receive. *)
+let receive_size t =
+  let exception Found of int in
+  let rec stmt = function
+    | Ast.Receive buf -> (
+        match Ast.buffer_length t.program buf with
+        | Some n -> raise (Found n)
+        | None -> ())
+    | Ast.If (_, a, b) ->
+        block a;
+        block b
+    | Ast.Switch (_, cases, default) ->
+        List.iter (fun (_, b) -> block b) cases;
+        block default
+    | Ast.While (_, b) -> block b
+    | _ -> ()
+  and block b = List.iter stmt b in
+  try
+    block t.program.Ast.main;
+    List.iter (fun (p : Ast.proc) -> block p.Ast.body) t.program.Ast.procs;
+    None
+  with Found n -> Some n
+
 let set_global t key value =
   t.globals <- (key, value) :: List.remove_assoc key t.globals
 

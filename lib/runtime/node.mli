@@ -20,6 +20,11 @@ val globals : t -> (string * Bv.t) list
 val set_global : t -> string -> Bv.t -> unit
 val delivered : t -> int
 
+val receive_size : t -> int option
+(** The message size (in bytes) this node's handler expects: the buffer
+    length of the first [Receive] reachable in program order. [None] for
+    programs that never receive. *)
+
 val deliver : t -> Bv.t array -> Concrete.outcome
 (** Run the handler to completion on one message, persist the globals, and
     return the outcome (including any messages the node sent). *)

@@ -559,7 +559,7 @@ let search s ~assumptions ~max_conflicts =
   in
   loop ()
 
-let solve ?conflict_limit ?(assumptions = []) s =
+let solve ?conflict_limit ?deadline ?(assumptions = []) s =
   cancel_until s 0;
   s.last_core <- [];
   if not s.ok then Some Unsat
@@ -569,8 +569,13 @@ let solve ?conflict_limit ?(assumptions = []) s =
     let budget_left =
       ref (match conflict_limit with None -> max_int | Some n -> n)
     in
+    let past_deadline () =
+      match deadline with
+      | None -> false
+      | Some d -> Unix.gettimeofday () > d
+    in
     let rec restart_loop i =
-      if !budget_left <= 0 then None
+      if !budget_left <= 0 || past_deadline () then None
       else begin
         let inner = int_of_float (100. *. luby 2. i) in
         let inner = min inner !budget_left in

@@ -28,10 +28,18 @@ val add_clause : t -> int list -> unit
 
 type result = Sat | Unsat
 
-val solve : ?conflict_limit:int -> ?assumptions:int list -> t -> result option
+val solve :
+  ?conflict_limit:int ->
+  ?deadline:float ->
+  ?assumptions:int list ->
+  t ->
+  result option
 (** Run the search, optionally under assumption literals that hold for this
-    call only. [None] means the conflict limit was exhausted (only possible
-    when [conflict_limit] is given). *)
+    call only. [None] means a resource budget was exhausted (only possible
+    when one is given): either [conflict_limit] conflicts were spent, or the
+    wall clock passed [deadline] (an absolute [Unix.gettimeofday] time,
+    checked between restarts — the overshoot is bounded by one restart
+    segment, ~100-1000 conflicts). *)
 
 val value : t -> int -> bool
 (** Value of a variable in the satisfying assignment; only valid after

@@ -7,6 +7,10 @@ type stats = {
   mutable sat_calls : int;
   mutable sat_results : int;
   mutable unsat_results : int;
+  mutable unknown_results : int;
+  mutable budget_escalations : int;
+  mutable budget_exhaustions : int;
+  mutable injected_faults : int;
   mutable solve_time : float;
 }
 
@@ -18,8 +22,75 @@ let fresh_stats () =
     sat_calls = 0;
     sat_results = 0;
     unsat_results = 0;
+    unknown_results = 0;
+    budget_escalations = 0;
+    budget_exhaustions = 0;
+    injected_faults = 0;
     solve_time = 0.;
   }
+
+(* --- per-query resource budgets ------------------------------------------- *)
+
+type budget = {
+  b_deadline : float option;
+  b_conflicts : int option;
+  b_escalations : int;
+}
+
+let budget ?deadline ?conflicts ?(escalations = 2) () =
+  (match deadline with
+  | Some d when d < 0. -> invalid_arg "Solver.budget: negative deadline"
+  | _ -> ());
+  (match conflicts with
+  | Some c when c < 0 -> invalid_arg "Solver.budget: negative conflicts"
+  | _ -> ());
+  if escalations < 0 then invalid_arg "Solver.budget: negative escalations";
+  { b_deadline = deadline; b_conflicts = conflicts; b_escalations = escalations }
+
+(* --- fault injection -------------------------------------------------------
+
+   Forces random [Unknown]s (and, when enabled, exceptions) at exactly the
+   sites where a real SAT search could blow past its budget, so every
+   degradation path of the callers (search policies, pool retries, partial
+   reports) can be exercised. The configuration is global; each domain draws
+   from its own PRNG seeded by (seed, registration slot), so a run with a
+   fixed domain count replays the same fault pattern. *)
+
+exception Injected_fault
+
+type fault_config = { f_rate : float; f_exceptions : bool; f_seed : int }
+
+let env_float name =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some s -> float_of_string_opt (String.trim s)
+
+let fault_config =
+  Atomic.make
+    {
+      f_rate =
+        (match env_float "ACHILLES_SOLVER_FAULT_RATE" with
+        | Some r when r > 0. -> Float.min r 1.
+        | _ -> 0.);
+      f_exceptions = false;
+      f_seed =
+        (match Sys.getenv_opt "ACHILLES_SOLVER_FAULT_SEED" with
+        | Some s -> ( match int_of_string_opt (String.trim s) with
+                      | Some n -> n
+                      | None -> 0x5eed)
+        | None -> 0x5eed);
+    }
+
+(* Bumped on every reconfiguration so domains re-seed their cached PRNG. *)
+let fault_generation = Atomic.make 0
+
+let set_fault_injection ?(rate = 0.) ?(exceptions = false) ?(seed = 0x5eed) () =
+  if rate < 0. || rate > 1. then
+    invalid_arg "Solver.set_fault_injection: rate outside [0,1]";
+  Atomic.set fault_config { f_rate = rate; f_exceptions = exceptions; f_seed = seed };
+  Atomic.incr fault_generation
+
+let fault_rate () = (Atomic.get fault_config).f_rate
 
 (* Every domain gets its own stats record, result cache and cache switch, so
    parallel search workers never contend on (or corrupt) shared tables. A
@@ -28,6 +99,9 @@ type domain_state = {
   dstats : stats;
   dcache : (Term.t list, result) Hashtbl.t;
   mutable dcache_enabled : bool;
+  mutable dbudget : budget option;
+  dslot : int; (* registration order; seeds the fault PRNG *)
+  mutable dfault : (int * Random.State.t) option; (* generation, PRNG *)
 }
 
 let registry : domain_state list ref = ref []
@@ -35,20 +109,25 @@ let registry_mutex = Mutex.create ()
 
 let domain_key =
   Domain.DLS.new_key (fun () ->
+      Mutex.lock registry_mutex;
       let st =
         {
           dstats = fresh_stats ();
           dcache = Hashtbl.create 1024;
           dcache_enabled = true;
+          dbudget = None;
+          dslot = List.length !registry;
+          dfault = None;
         }
       in
-      Mutex.lock registry_mutex;
       registry := st :: !registry;
       Mutex.unlock registry_mutex;
       st)
 
 let domain_state () = Domain.DLS.get domain_key
 let stats () = (domain_state ()).dstats
+let set_budget b = (domain_state ()).dbudget <- b
+let get_budget () = (domain_state ()).dbudget
 
 let reset_one st =
   st.queries <- 0;
@@ -57,6 +136,10 @@ let reset_one st =
   st.sat_calls <- 0;
   st.sat_results <- 0;
   st.unsat_results <- 0;
+  st.unknown_results <- 0;
+  st.budget_escalations <- 0;
+  st.budget_exhaustions <- 0;
+  st.injected_faults <- 0;
   st.solve_time <- 0.
 
 let reset_stats () = reset_one (stats ())
@@ -75,6 +158,10 @@ let aggregate_stats () =
       acc.sat_calls <- acc.sat_calls + s.sat_calls;
       acc.sat_results <- acc.sat_results + s.sat_results;
       acc.unsat_results <- acc.unsat_results + s.unsat_results;
+      acc.unknown_results <- acc.unknown_results + s.unknown_results;
+      acc.budget_escalations <- acc.budget_escalations + s.budget_escalations;
+      acc.budget_exhaustions <- acc.budget_exhaustions + s.budget_exhaustions;
+      acc.injected_faults <- acc.injected_faults + s.injected_faults;
       acc.solve_time <- acc.solve_time +. s.solve_time)
     states;
   acc
@@ -104,23 +191,92 @@ let canonicalize terms =
   in
   Option.map (List.sort_uniq Term.compare) (flatten [] terms)
 
-let solve_with_sat ?conflict_limit terms =
-  let st = stats () in
-  let sat = Sat.create () in
-  let bb = Bitblast.create sat in
-  List.iter (Bitblast.assert_true bb) terms;
-  st.sat_calls <- st.sat_calls + 1;
-  let t0 = Unix.gettimeofday () in
-  let answer = Sat.solve ?conflict_limit sat in
-  st.solve_time <- st.solve_time +. (Unix.gettimeofday () -. t0);
-  match answer with
-  | Some Sat.Sat ->
-      st.sat_results <- st.sat_results + 1;
-      Sat (Bitblast.extract_model bb)
-  | Some Sat.Unsat ->
-      st.unsat_results <- st.unsat_results + 1;
-      Unsat
-  | None -> Unknown
+(* Does an injected fault hit this SAT call? Counts the fault and either
+   answers [Unknown] (returns [true]) or raises [Injected_fault]. *)
+let fault_fires d =
+  let cfg = Atomic.get fault_config in
+  if cfg.f_rate <= 0. then false
+  else begin
+    let gen = Atomic.get fault_generation in
+    let rng =
+      match d.dfault with
+      | Some (g, rng) when g = gen -> rng
+      | _ ->
+          let rng = Random.State.make [| cfg.f_seed; d.dslot |] in
+          d.dfault <- Some (gen, rng);
+          rng
+    in
+    if Random.State.float rng 1.0 < cfg.f_rate then begin
+      d.dstats.injected_faults <- d.dstats.injected_faults + 1;
+      if cfg.f_exceptions && Random.State.int rng 4 = 0 then
+        raise Injected_fault;
+      true
+    end
+    else false
+  end
+
+(* The escalation ladder. Run one solving attempt under the domain's ambient
+   budget; every [Unknown] answer (exhausted limit or injected fault) is
+   retried at x4 the previous budget, up to [b_escalations] extra attempts,
+   after which [Unknown] stands and counts as a budget exhaustion. With no
+   ambient budget the single attempt is unbounded (modulo a per-call
+   [conflict_limit]), preserving the historical semantics. *)
+let with_budget ~conflict_limit d attempt =
+  let st = d.dstats in
+  let finish r =
+    (match r with
+    | Unknown -> st.unknown_results <- st.unknown_results + 1
+    | Sat _ | Unsat -> ());
+    r
+  in
+  match d.dbudget with
+  | None -> finish (attempt ~conflict_limit ~deadline:None)
+  | Some b ->
+      let base_conflicts =
+        match conflict_limit with Some _ -> conflict_limit | None -> b.b_conflicts
+      in
+      if base_conflicts = None && b.b_deadline = None then
+        finish (attempt ~conflict_limit:None ~deadline:None)
+      else begin
+        let rec go i scale =
+          let deadline =
+            Option.map
+              (fun s -> Unix.gettimeofday () +. (s *. float_of_int scale))
+              b.b_deadline
+          in
+          let conflicts = Option.map (fun c -> c * scale) base_conflicts in
+          match attempt ~conflict_limit:conflicts ~deadline with
+          | Unknown when i < b.b_escalations ->
+              st.budget_escalations <- st.budget_escalations + 1;
+              go (i + 1) (scale * 4)
+          | Unknown ->
+              st.budget_exhaustions <- st.budget_exhaustions + 1;
+              finish Unknown
+          | r -> finish r
+        in
+        go 0 1
+      end
+
+let solve_with_sat d terms ~conflict_limit ~deadline =
+  let st = d.dstats in
+  if fault_fires d then Unknown
+  else begin
+    let sat = Sat.create () in
+    let bb = Bitblast.create sat in
+    List.iter (Bitblast.assert_true bb) terms;
+    st.sat_calls <- st.sat_calls + 1;
+    let t0 = Unix.gettimeofday () in
+    let answer = Sat.solve ?conflict_limit ?deadline sat in
+    st.solve_time <- st.solve_time +. (Unix.gettimeofday () -. t0);
+    match answer with
+    | Some Sat.Sat ->
+        st.sat_results <- st.sat_results + 1;
+        Sat (Bitblast.extract_model bb)
+    | Some Sat.Unsat ->
+        st.unsat_results <- st.unsat_results + 1;
+        Unsat
+    | None -> Unknown
+  end
 
 let check ?conflict_limit terms =
   let d = domain_state () in
@@ -142,7 +298,7 @@ let check ?conflict_limit terms =
               st.interval_prunes <- st.interval_prunes + 1;
               Unsat
             end
-            else solve_with_sat ?conflict_limit key
+            else with_budget ~conflict_limit d (solve_with_sat d key)
           in
           (match r with
           | Unknown -> ()
@@ -199,7 +355,8 @@ module Incremental = struct
         g
 
   let check ?conflict_limit session terms =
-    let st = stats () in
+    let d = domain_state () in
+    let st = d.dstats in
     st.queries <- st.queries + 1;
     if session.dead then Unsat
     else begin
@@ -207,21 +364,27 @@ module Incremental = struct
       | None -> Unsat
       | Some terms ->
           let assumptions = List.map (indicator session) terms in
-          st.sat_calls <- st.sat_calls + 1;
-          let t0 = Unix.gettimeofday () in
-          let answer = Sat.solve ?conflict_limit ~assumptions session.sat in
-          st.solve_time <- st.solve_time +. (Unix.gettimeofday () -. t0);
-          (match answer with
-          | Some Sat.Sat ->
-              st.sat_results <- st.sat_results + 1;
-              Sat (Bitblast.extract_model session.bb)
-          | Some Sat.Unsat ->
-              st.unsat_results <- st.unsat_results + 1;
-              (* Unsat under assumptions; the session stays usable unless
-                 the permanent part itself is contradictory, which the next
-                 unassumed call would reveal. *)
-              Unsat
-          | None -> Unknown)
+          with_budget ~conflict_limit d (fun ~conflict_limit ~deadline ->
+              if fault_fires d then Unknown
+              else begin
+                st.sat_calls <- st.sat_calls + 1;
+                let t0 = Unix.gettimeofday () in
+                let answer =
+                  Sat.solve ?conflict_limit ?deadline ~assumptions session.sat
+                in
+                st.solve_time <- st.solve_time +. (Unix.gettimeofday () -. t0);
+                match answer with
+                | Some Sat.Sat ->
+                    st.sat_results <- st.sat_results + 1;
+                    Sat (Bitblast.extract_model session.bb)
+                | Some Sat.Unsat ->
+                    st.unsat_results <- st.unsat_results + 1;
+                    (* Unsat under assumptions; the session stays usable
+                       unless the permanent part itself is contradictory,
+                       which the next unassumed call would reveal. *)
+                    Unsat
+                | None -> Unknown
+              end)
     end
 
   (* The subset of the last check's terms already responsible for its

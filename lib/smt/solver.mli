@@ -16,21 +16,79 @@
 type result = Sat of Model.t | Unsat | Unknown
 
 val check : ?conflict_limit:int -> Term.t list -> result
-(** Satisfiability of the conjunction. [Unknown] is only returned when
-    [conflict_limit] is given and exhausted. *)
+(** Satisfiability of the conjunction. [Unknown] is only returned when the
+    query is resource-bounded — a per-call [conflict_limit], an ambient
+    {!budget} installed with {!set_budget}, or active {!set_fault_injection}
+    — and the bound was exhausted on every rung of the escalation ladder
+    (each [Unknown] attempt is retried at x4 the previous deadline/conflict
+    budget, [b_escalations] times, before [Unknown] is final). A per-call
+    [conflict_limit] overrides the ambient budget's conflict count but still
+    rides the ambient ladder and deadline. *)
 
 val is_sat : Term.t list -> bool
-(** [check] specialized; treats [Unknown] as satisfiable is never needed
-    because no limit is passed. *)
+(** [check] specialized to a boolean. [Unknown] maps to [false] ("not shown
+    satisfiable"), so under a budget a caller needing soundness one way or
+    the other must use [check] and handle [Unknown] explicitly: [is_sat] and
+    {!is_unsat} may {e both} be [false] for the same bounded query. *)
 
 val is_unsat : Term.t list -> bool
+(** [false] on [Sat] {e and} on [Unknown] — an exhausted budget never proves
+    unsatisfiability. *)
 
 val get_model : Term.t list -> Model.t option
-(** A satisfying assignment, if one exists. *)
+(** A satisfying assignment, if one exists ([None] also on a budget-
+    exhausted [Unknown]). *)
 
 val implied : Term.t list -> Term.t -> bool
 (** [implied assumptions t]: does the conjunction of [assumptions] entail
     [t]? *)
+
+(** {1 Resource budgets}
+
+    A budget bounds each query attempt by a wall-clock deadline ([deadline]
+    seconds) and/or a CDCL conflict count, with an escalation ladder: an
+    attempt answering [Unknown] is retried at x4 the previous budget, up to
+    [escalations] extra attempts, after which [Unknown] is returned and
+    counted as a budget exhaustion. Budgets are ambient and per-domain
+    (like the cache and statistics): parallel search workers install their
+    own copy. *)
+
+type budget
+
+val budget :
+  ?deadline:float -> ?conflicts:int -> ?escalations:int -> unit -> budget
+(** [deadline] is seconds per attempt (wall clock), [conflicts] a CDCL
+    conflict count per attempt, [escalations] the number of x4 retries
+    (default 2). Raises [Invalid_argument] on negative values. A budget with
+    neither [deadline] nor [conflicts] leaves queries unbounded. *)
+
+val set_budget : budget option -> unit
+(** Install (or clear, with [None]) the calling domain's ambient budget. *)
+
+val get_budget : unit -> budget option
+
+(** {1 Fault injection}
+
+    Deterministic chaos for exercising degradation paths: with probability
+    [rate], a SAT attempt is replaced by an [Unknown] answer (or, when
+    [exceptions] is set, occasionally a raised {!Injected_fault}). Faults
+    fire at exactly the points a real budget blow-up would, so the callers'
+    Unknown policies, retry ladders and shard-failure handling are tested by
+    the same machinery that degrades production runs. Configured globally
+    ([ACHILLES_SOLVER_FAULT_RATE] / [ACHILLES_SOLVER_FAULT_SEED] read at
+    startup, Unknown-only), each domain drawing from a PRNG seeded by
+    (seed, domain slot) so fixed-domain-count runs replay identically. *)
+
+exception Injected_fault
+
+val set_fault_injection :
+  ?rate:float -> ?exceptions:bool -> ?seed:int -> unit -> unit
+(** Reconfigure fault injection (test API; overrides the environment).
+    [rate = 0.] (the default) turns it off. Raises [Invalid_argument] when
+    [rate] is outside [0, 1]. *)
+
+val fault_rate : unit -> float
+(** The currently configured fault rate (0 when injection is off). *)
 
 (** {1 Statistics and cache control} *)
 
@@ -41,6 +99,10 @@ type stats = {
   mutable sat_calls : int;
   mutable sat_results : int;
   mutable unsat_results : int;
+  mutable unknown_results : int; (* final Unknown answers (post-ladder) *)
+  mutable budget_escalations : int; (* x4 retries taken *)
+  mutable budget_exhaustions : int; (* ladders that ended in Unknown *)
+  mutable injected_faults : int; (* faults fired by {!set_fault_injection} *)
   mutable solve_time : float; (* seconds spent inside the SAT solver *)
 }
 
@@ -86,10 +148,14 @@ module Incremental : sig
 
   val check : ?conflict_limit:int -> session -> Term.t list -> result
   (** Satisfiability of (permanent constraints /\ the given terms); the
-      given terms hold for this call only. *)
+      given terms hold for this call only. Honors the calling domain's
+      ambient {!budget} (deadline, conflicts, escalation ladder) and fault
+      injection exactly like the top-level {!check}. *)
 
   val is_sat : ?conflict_limit:int -> session -> Term.t list -> bool
   val is_unsat : ?conflict_limit:int -> session -> Term.t list -> bool
+  (** Like the top-level specializations, both map [Unknown] to [false]:
+      an exhausted budget proves neither satisfiability nor its negation. *)
 
   val unsat_core : session -> Term.t list option
   (** After an [Unsat] answer: the subset of that check's terms already

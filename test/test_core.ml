@@ -451,6 +451,7 @@ let test_discovery_curve () =
       witness = [||];
       symbolic = [];
       msg_vars = [||];
+      confirmed = true;
       found_at;
     }
   in

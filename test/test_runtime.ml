@@ -113,6 +113,55 @@ let test_net_bit_flip_fault () =
   Alcotest.(check bool) "corrupted to '*'" true
     (Bv.equal (List.assoc "last" (Node.globals node)) (b8 (Char.code '*')))
 
+let test_net_fault_index_validation () =
+  let raises_invalid name f =
+    Alcotest.check_raises name
+      (Invalid_argument
+         (match name with
+         | "negative byte" -> "Net.bit_flip_fault: negative byte -1"
+         | "bit too high" -> "Net.bit_flip_fault: bit 8 outside [0, 7]"
+         | _ -> "Net.bit_flip_fault: bit -3 outside [0, 7]"))
+      (fun () -> ignore (f ()))
+  in
+  raises_invalid "negative byte" (fun () ->
+      Net.bit_flip_fault ~byte:(-1) ~bit:0 ());
+  raises_invalid "bit too high" (fun () ->
+      Net.bit_flip_fault ~byte:0 ~bit:8 ());
+  raises_invalid "negative bit" (fun () ->
+      Net.bit_flip_fault ~byte:0 ~bit:(-3) ());
+  (* a byte beyond a given packet stays a per-packet no-op, not an error:
+     packet sizes legitimately vary across receivers *)
+  let f = Net.bit_flip_fault ~byte:9 ~bit:0 () in
+  let p = { Net.src = 0; Net.dst = 1; Net.payload = [| b8 7 |] } in
+  Alcotest.(check bool) "oversized byte leaves short packet intact" true
+    (Bv.equal (f p).Net.payload.(0) (b8 7))
+
+let test_net_inject_arity_validation () =
+  let open Builder in
+  let sink =
+    prog "sink" ~globals:[ ("last", 8) ] ~buffers:[ ("in", 2) ]
+      [ receive "in"; set "last" (load "in" (i8 0)); mark_accept "got" ]
+  in
+  let net = Net.create () in
+  let node = Node.create sink in
+  Net.add_node net ~addr:1 node;
+  Alcotest.(check (option int)) "receive size scanned" (Some 2)
+    (Node.receive_size node);
+  Alcotest.check_raises "one byte into a two-byte receiver"
+    (Invalid_argument "Net.inject: payload is 1 bytes but node 1 receives 2")
+    (fun () -> Net.inject net ~dst:1 [| b8 1 |]);
+  Alcotest.check_raises "three bytes into a two-byte receiver"
+    (Invalid_argument "Net.inject: payload is 3 bytes but node 1 receives 2")
+    (fun () -> Net.inject net ~dst:1 [| b8 1; b8 2; b8 3 |]);
+  (* the exact size goes through and is delivered *)
+  Net.inject net ~dst:1 [| b8 5; b8 6 |];
+  Alcotest.(check int) "valid payload delivered" 1 (Net.run_to_quiescence net);
+  (* unroutable destinations are not validated (the queue accepts them and
+     step drops them, as before) *)
+  Net.inject net ~dst:99 [| b8 1 |];
+  Alcotest.(check int) "unroutable packet still just dropped" 0
+    (Net.run_to_quiescence net)
+
 (* --- FSP deployment: the wildcard bug (§6.3) ---------------------------------------- *)
 
 let test_wildcard_collateral_damage () =
@@ -288,6 +337,10 @@ let () =
           Alcotest.test_case "routing and replies" `Quick
             test_net_routing_and_replies;
           Alcotest.test_case "bit flip fault" `Quick test_net_bit_flip_fault;
+          Alcotest.test_case "fault index validation" `Quick
+            test_net_fault_index_validation;
+          Alcotest.test_case "inject arity validation" `Quick
+            test_net_inject_arity_validation;
         ] );
       ( "fsp-impact",
         [
