@@ -725,6 +725,137 @@ let experiment_robustness () =
     (not any_lost);
   if any_lost then exit 1
 
+(* --- E13: hash-consed sharing ------------------------------------------------------------------- *)
+
+let experiment_sharing () =
+  banner "E13: hash-consed term core — sharing ratio, memo hits, end-to-end cost";
+  (* Force the lazy config outside the measured runs: [over_approximate]
+     allocates a fresh variable at construction, which would shift the id
+     sequence of whichever run happened to force it first. *)
+  let pbft = Lazy.force pbft_config in
+  let targets =
+    [
+      ( "fsp",
+        fun () ->
+          Achilles.analyze ~search_config:fsp_search_config
+            ~layout:Fsp_model.layout ~clients:(Fsp_model.clients ())
+            ~server:Fsp_model.server () );
+      ( "pbft",
+        fun () ->
+          Achilles.analyze ~search_config:pbft ~layout:Pbft_model.layout
+            ~clients:[ Pbft_model.client ] ~server:Pbft_model.replica () );
+    ]
+  in
+  (* One measurement = one full analysis from an identical starting state
+     (counters zeroed, every cache/interning table dropped), with sharing on
+     or off. Off reproduces the pre-interning cost model: every construction
+     allocates, every equality/ordering walks structurally. *)
+  let measure sharing analyze =
+    Solver.reset_all_for_tests ();
+    Term.set_fresh_counter 0;
+    Term.set_sharing sharing;
+    let t0 = Unix.gettimeofday () in
+    let analysis = analyze () in
+    let wall = Unix.gettimeofday () -. t0 in
+    let agg = Solver.aggregate_stats () in
+    let intern_hits, created = Term.aggregate_intern_stats () in
+    let blast_hits, blast_misses = Bitblast.aggregate_memo_stats () in
+    let work = Term.structural_work () in
+    let digest = Report.report_digest analysis.Achilles.report in
+    ( digest,
+      [
+        ("wall_s", Printf.sprintf "%.4f" wall);
+        ("solve_s", Printf.sprintf "%.4f" agg.Solver.solve_time);
+        ("queries", string_of_int agg.Solver.queries);
+        ("sat_calls", string_of_int agg.Solver.sat_calls);
+        ("solver_cache_hits", string_of_int agg.Solver.cache_hits);
+        ("solver_cache_entries", string_of_int (Solver.aggregate_cache_entries ()));
+        ("solver_cache_evictions", string_of_int agg.Solver.cache_evictions);
+        ("terms_created", string_of_int created);
+        ("intern_hits", string_of_int intern_hits);
+        ( "sharing_ratio",
+          Printf.sprintf "%.4f"
+            (float_of_int intern_hits
+            /. float_of_int (max 1 (intern_hits + created))) );
+        ("bitblast_memo_hits", string_of_int blast_hits);
+        ("bitblast_memo_misses", string_of_int blast_misses);
+        ("structural_work", string_of_int work);
+        ("digest", digest);
+      ] )
+  in
+  let rows = ref [] in
+  let failed = ref false in
+  Fun.protect
+    ~finally:(fun () -> Term.set_sharing true)
+    (fun () ->
+      List.iter
+        (fun (name, analyze) ->
+          let digest_on, on = measure true analyze in
+          let digest_off, off = measure false analyze in
+          if digest_on <> digest_off then begin
+            Format.eprintf
+              "sharing: %s report digest differs between sharing modes (%s \
+               vs %s)@."
+              name digest_on digest_off;
+            failed := true
+          end;
+          let get k row = List.assoc k row in
+          Format.printf "  %-5s sharing=on  wall %ss, solve %ss, %s queries, \
+                         sharing ratio %s, blast memo %s/%s, work %s@."
+            name (get "wall_s" on) (get "solve_s" on) (get "queries" on)
+            (get "sharing_ratio" on) (get "bitblast_memo_hits" on)
+            (get "bitblast_memo_misses" on) (get "structural_work" on);
+          Format.printf "  %-5s sharing=off wall %ss, solve %ss, %s queries, \
+                         work %s@."
+            name (get "wall_s" off) (get "solve_s" off) (get "queries" off)
+            (get "structural_work" off);
+          (* Queries and bitblast CNF are pinned byte-identical across modes
+             (that is the digest guarantee), so the work counter that can
+             legitimately differ is term construction: every off-mode
+             construction allocates and hashes a fresh node, every on-mode
+             intern hit answers in O(1). *)
+          let created_on = int_of_string (get "terms_created" on) in
+          let created_off = int_of_string (get "terms_created" off) in
+          let alloc_reduction =
+            float_of_int created_off /. float_of_int (max 1 created_on)
+          in
+          let work_on = int_of_string (get "structural_work" on) in
+          let work_off = int_of_string (get "structural_work" off) in
+          let work_reduction =
+            float_of_int work_off /. float_of_int (max 1 work_on)
+          in
+          Format.printf
+            "  %-5s term-construction work: %d -> %d nodes allocated (%.1fx \
+             reduction); structural walks: %d -> %d nodes (%.1fx); digests \
+             identical: %b@."
+            name created_off created_on alloc_reduction work_off work_on
+            work_reduction (digest_on = digest_off);
+          if name = "fsp" && alloc_reduction < 2. then begin
+            Format.eprintf
+              "sharing: expected >= 2x term-construction work reduction on \
+               FSP, got %.2fx@."
+              alloc_reduction;
+            failed := true
+          end;
+          let csv mode row =
+            Printf.sprintf "%s,%s,%s" name mode
+              (String.concat "," (List.map snd row))
+          in
+          rows := csv "off" off :: csv "on" on :: !rows)
+        targets);
+  (* always persist the series, like the other figure experiments *)
+  let saved = !csv_dir in
+  if saved = None then begin
+    (try Unix.mkdir "bench" 0o755
+     with Unix.Unix_error ((Unix.EEXIST | Unix.EPERM), _, _) -> ());
+    csv_dir := Some (Filename.concat "bench" "figures")
+  end;
+  write_csv "sharing.csv"
+    "target,sharing,wall_s,solve_s,queries,sat_calls,solver_cache_hits,solver_cache_entries,solver_cache_evictions,terms_created,intern_hits,sharing_ratio,bitblast_memo_hits,bitblast_memo_misses,structural_work,digest"
+    (List.rev !rows);
+  csv_dir := saved;
+  if !failed then exit 1
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------------------ *)
 
 let bechamel_benchmarks () =
@@ -860,6 +991,7 @@ let experiments =
     ("local-state", experiment_local_state);
     ("scaling", experiment_scaling);
     ("robustness", experiment_robustness);
+    ("sharing", experiment_sharing);
   ]
 
 let () =

@@ -115,6 +115,14 @@ type coverage = {
   budget_exhaustions : int;
   injected_faults : int;
   abandoned_states : int; (* states cut off by cancellation *)
+  (* solver result-cache health at the end of the run, process-wide: live
+     entries across every domain's bounded cache, evictions and hits since
+     the last stats reset, and the query total the hits are a fraction of.
+     Never digested: cache behavior may not influence reported results. *)
+  solver_cache_entries : int;
+  solver_cache_evictions : int;
+  solver_cache_hits : int;
+  solver_queries : int;
 }
 
 let coverage_complete c =
@@ -444,7 +452,10 @@ let on_constraint ctx (st : State.t) cond =
       let pruned =
         ctx.cfg.prune_no_trojan
         &&
-        match Solver.check (trojan_query ctx st alive) with
+        (* dedup the sibling constraints (shared client negations reappear
+           across alive sets) before the query; the reported term lists are
+           left verbatim *)
+        match Solver.check (Term.dedup (trojan_query ctx st alive)) with
         | Solver.Unsat -> true
         | Solver.Sat _ -> false
         | Solver.Unknown ->
@@ -573,7 +584,7 @@ let emit_trojans ctx (st : State.t) label =
       in
       let rec enumerate blocked n =
         if n < ctx.cfg.witnesses_per_path then
-          match Solver.check (List.rev_append blocked base_query) with
+          match Solver.check (Term.dedup (List.rev_append blocked base_query)) with
           | Solver.Unsat -> ()
           | Solver.Unknown ->
               (* sound degradation: the accepting state is reported with its
@@ -700,6 +711,7 @@ let run_sequential ~config ~different_from ~client ~server ~started =
     }
   in
   let interrupted = config.cancel () in
+  let agg = Solver.aggregate_stats () in
   let coverage =
     {
       total_shards = 1;
@@ -715,6 +727,10 @@ let run_sequential ~config ~different_from ~client ~server ~started =
         solver_stats.Solver.budget_exhaustions - exhaustions0;
       injected_faults = solver_stats.Solver.injected_faults - faults0;
       abandoned_states = ctx.n_abandoned;
+      solver_cache_entries = Solver.aggregate_cache_entries ();
+      solver_cache_evictions = agg.Solver.cache_evictions;
+      solver_cache_hits = agg.Solver.cache_hits;
+      solver_queries = agg.Solver.queries;
     }
   in
   {
@@ -756,7 +772,20 @@ let ckpt_magic = "ACHILLES-CKPT-1"
 (* Identity of a run for resume purposes: everything that changes the shard
    decomposition or per-shard event logs. Closure-valued config fields
    ([distinct_by], [interp.auto_classify]) cannot be fingerprinted; resume
-   assumes they are unchanged. *)
+   assumes they are unchanged. The client's terms are fingerprinted by
+   their printed rendering, not their in-memory representation: hash-consed
+   nodes carry process-local ids that vary with construction order, and
+   marshaling them would make the fingerprint differ between runs of the
+   same analysis. *)
+let client_rendering (client : Predicate.client_predicate) =
+  List.map
+    (fun (p : Predicate.client_path) ->
+      ( p.Predicate.cp_id,
+        p.Predicate.source,
+        Array.to_list (Array.map Term.to_string p.Predicate.message),
+        List.map Term.to_string p.Predicate.constraints ))
+    client.Predicate.paths
+
 let run_fingerprint ~bits ~config ~client ~server =
   Digest.to_hex
     (Digest.string
@@ -771,7 +800,9 @@ let run_fingerprint ~bits ~config ~client ~server =
             config.explain_drops,
             config.mask,
             config.witnesses_per_path,
-            client,
+            Layout.name client.Predicate.layout,
+            Layout.total_size client.Predicate.layout,
+            client_rendering client,
             server )
           []))
 
@@ -786,6 +817,27 @@ let write_shard_checkpoint ~dir ~fingerprint ~idx (recorder, counter) =
   close_out oc;
   Sys.rename tmp path
 
+(* Terms revived by [Marshal] bypassed the smart constructors: their node
+   ids belong to the (dead) process that wrote the checkpoint and may
+   collide with ids of live terms, which would poison id-keyed memo tables
+   (e.g. [Term.var_ids]) when report building walks the loaded events.
+   Re-intern every term before letting the recorder out. *)
+let rebuild_recorder r =
+  let terms = List.map Term.rebuild in
+  r.rec_trojans <-
+    List.map
+      (fun w -> { w with wt_symbolic = terms w.wt_symbolic })
+      r.rec_trojans;
+  r.rec_accepting <-
+    List.map
+      (fun w -> { w with wa_constraints = terms w.wa_constraints })
+      r.rec_accepting;
+  r.rec_drops <-
+    List.map
+      (fun w -> { w with wd_conflicting = terms w.wd_conflicting })
+      r.rec_drops;
+  r
+
 let load_shard_checkpoint ~dir ~fingerprint ~idx : (recorder * int) option =
   let path = shard_file dir idx in
   if not (Sys.file_exists path) then None
@@ -799,7 +851,7 @@ let load_shard_checkpoint ~dir ~fingerprint ~idx : (recorder * int) option =
     with
     | magic, fp, i, r, c when magic = ckpt_magic && fp = fingerprint && i = idx
       ->
-        Some (r, c)
+        Some (rebuild_recorder r, c)
     | _ -> None
     | exception _ -> None (* torn or foreign file: re-explore the shard *)
 
@@ -920,6 +972,7 @@ let run_parallel ~config ~different_from ~client ~server ~started =
            match shard_results.(idx) with `Failed -> Some idx | _ -> None))
   in
   let sum f = List.fold_left (fun acc (r, _) -> acc + f r) 0 outs in
+  let agg = Solver.aggregate_stats () in
   let coverage =
     {
       total_shards = n_tasks;
@@ -935,6 +988,10 @@ let run_parallel ~config ~different_from ~client ~server ~started =
       budget_exhaustions = sum (fun r -> r.rec_exhaustions);
       injected_faults = sum (fun r -> r.rec_faults);
       abandoned_states = Atomic.get abandoned;
+      solver_cache_entries = Solver.aggregate_cache_entries ();
+      solver_cache_evictions = agg.Solver.cache_evictions;
+      solver_cache_hits = agg.Solver.cache_hits;
+      solver_queries = agg.Solver.queries;
     }
   in
   (* keep the coordinating domain's counter ahead of every id any worker

@@ -153,6 +153,10 @@ type coverage = {
   budget_exhaustions : int; (* solver escalation ladders ending Unknown *)
   injected_faults : int; (* faults fired by {!Solver.set_fault_injection} *)
   abandoned_states : int; (* states cut off by cancellation *)
+  solver_cache_entries : int; (* live bounded-cache entries, all domains *)
+  solver_cache_evictions : int; (* entries dropped at the size cap *)
+  solver_cache_hits : int; (* queries answered from the cache *)
+  solver_queries : int; (* total queries (denominator of the hit rate) *)
 }
 
 val coverage_complete : coverage -> bool

@@ -2,12 +2,48 @@ type repr = Rlit of int | Rvec of int array (* lsb first, DIMACS literals *)
 
 type t = {
   sat : Sat.t;
-  cache : (Term.t, repr) Hashtbl.t;
+  cache : repr Term.Tbl.t;
   term_vars : (int, Term.var * repr) Hashtbl.t; (* term var id -> bits *)
   true_lit : int;
   mutable n_clauses : int;
   mutable n_aux : int;
 }
+
+(* Per-domain memo counters, aggregated across contexts: each solver query
+   builds a fresh context (model determinism forbids reusing CNF between
+   queries), so per-context hit counts would vanish with the context. *)
+type memo_state = { mutable m_hits : int; mutable m_misses : int }
+
+let memo_registry : memo_state list ref = ref []
+let memo_mutex = Mutex.create ()
+
+let memo_key =
+  Domain.DLS.new_key (fun () ->
+      Mutex.lock memo_mutex;
+      let st = { m_hits = 0; m_misses = 0 } in
+      memo_registry := st :: !memo_registry;
+      Mutex.unlock memo_mutex;
+      st)
+
+let memo_stats () =
+  let st = Domain.DLS.get memo_key in
+  (st.m_hits, st.m_misses)
+
+let aggregate_memo_stats () =
+  Mutex.lock memo_mutex;
+  let states = !memo_registry in
+  Mutex.unlock memo_mutex;
+  List.fold_left (fun (h, m) st -> (h + st.m_hits, m + st.m_misses)) (0, 0) states
+
+let reset_memo_stats () =
+  Mutex.lock memo_mutex;
+  let states = !memo_registry in
+  Mutex.unlock memo_mutex;
+  List.iter
+    (fun st ->
+      st.m_hits <- 0;
+      st.m_misses <- 0)
+    states
 
 let sat t = t.sat
 let clauses_added t = t.n_clauses
@@ -25,7 +61,7 @@ let create sat =
   let dummy =
     {
       sat;
-      cache = Hashtbl.create 256;
+      cache = Term.Tbl.create 256;
       term_vars = Hashtbl.create 64;
       true_lit = 0;
       n_clauses = 0;
@@ -204,11 +240,15 @@ let shifter t ~kind av amount =
 (* --- term translation ------------------------------------------------------ *)
 
 let rec translate t (term : Term.t) : repr =
-  match Hashtbl.find_opt t.cache term with
-  | Some r -> r
+  let ms = Domain.DLS.get memo_key in
+  match Term.Tbl.find_opt t.cache term with
+  | Some r ->
+      ms.m_hits <- ms.m_hits + 1;
+      r
   | None ->
+      ms.m_misses <- ms.m_misses + 1;
       let r = translate_uncached t term in
-      Hashtbl.replace t.cache term r;
+      Term.Tbl.replace t.cache term r;
       r
 
 and bvec t term =
@@ -222,7 +262,7 @@ and blit t term =
   | Rvec _ -> raise (Term.Sort_error "bitblast: expected boolean")
 
 and translate_uncached t (term : Term.t) : repr =
-  match term with
+  match term.Term.node with
   | True -> Rlit t.true_lit
   | False -> Rlit (-t.true_lit)
   | Const bv ->
@@ -276,7 +316,7 @@ and translate_uncached t (term : Term.t) : repr =
 let lit_of t term = blit t term
 
 let assert_true t term =
-  match term with
+  match term.Term.node with
   | Term.True -> ()
   | Term.False -> clause t []
   | _ -> clause t [ blit t term ]

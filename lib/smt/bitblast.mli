@@ -25,3 +25,18 @@ val extract_model : t -> Model.t
 
 val clauses_added : t -> int
 val aux_vars : t -> int
+
+(** {1 Memo statistics}
+
+    Translation-cache hits and misses, accumulated per domain across every
+    context the domain creates (contexts are per-query, so the counters
+    must outlive them). *)
+
+val memo_stats : unit -> int * int
+(** [(hits, misses)] for the calling domain. *)
+
+val aggregate_memo_stats : unit -> int * int
+(** Totals over all domains that have bitblasted anything. *)
+
+val reset_memo_stats : unit -> unit
+(** Zero every domain's counters. *)

@@ -33,32 +33,36 @@ let exclude acc (v : Term.var) value = acc.neqs <- (v.id, value) :: acc.neqs
    variable. Anything unrecognized is ignored, which is sound. *)
 let rec scan acc ~positive (atom : Term.t) =
   let max_of (v : Term.var) = (full_bounds v).hi in
-  match atom, positive with
+  match atom.Term.node, positive with
   | Term.Not t, _ -> scan acc ~positive:(not positive) t
   | Term.And (a, b), true ->
       scan acc ~positive:true a;
       scan acc ~positive:true b
-  | Term.Eq (Var v, Const c), true | Term.Eq (Const c, Var v), true ->
+  | Term.Eq ({ node = Var v; _ }, { node = Const c; _ }), true
+  | Term.Eq ({ node = Const c; _ }, { node = Var v; _ }), true ->
       refine acc v ~lo:(Bv.value c) ~hi:(Bv.value c)
-  | Term.Eq (Var v, Const c), false | Term.Eq (Const c, Var v), false ->
+  | Term.Eq ({ node = Var v; _ }, { node = Const c; _ }), false
+  | Term.Eq ({ node = Const c; _ }, { node = Var v; _ }), false ->
       exclude acc v (Bv.value c)
-  | Term.Ult (Var v, Const c), true ->
+  | Term.Ult ({ node = Var v; _ }, { node = Const c; _ }), true ->
       (* x < c; c = 0 cannot be produced by the smart constructors *)
       if Bv.value c = 0L then acc.empty <- true
       else refine acc v ~lo:0L ~hi:(Int64.sub (Bv.value c) 1L)
-  | Term.Ult (Var v, Const c), false ->
+  | Term.Ult ({ node = Var v; _ }, { node = Const c; _ }), false ->
       refine acc v ~lo:(Bv.value c) ~hi:(max_of v)
-  | Term.Ult (Const c, Var v), true ->
+  | Term.Ult ({ node = Const c; _ }, { node = Var v; _ }), true ->
       if ucmp (Bv.value c) (max_of v) >= 0 then acc.empty <- true
       else refine acc v ~lo:(Int64.add (Bv.value c) 1L) ~hi:(max_of v)
-  | Term.Ult (Const c, Var v), false -> refine acc v ~lo:0L ~hi:(Bv.value c)
-  | Term.Ule (Var v, Const c), true -> refine acc v ~lo:0L ~hi:(Bv.value c)
-  | Term.Ule (Var v, Const c), false ->
+  | Term.Ult ({ node = Const c; _ }, { node = Var v; _ }), false ->
+      refine acc v ~lo:0L ~hi:(Bv.value c)
+  | Term.Ule ({ node = Var v; _ }, { node = Const c; _ }), true ->
+      refine acc v ~lo:0L ~hi:(Bv.value c)
+  | Term.Ule ({ node = Var v; _ }, { node = Const c; _ }), false ->
       if ucmp (Bv.value c) (max_of v) >= 0 then acc.empty <- true
       else refine acc v ~lo:(Int64.add (Bv.value c) 1L) ~hi:(max_of v)
-  | Term.Ule (Const c, Var v), true ->
+  | Term.Ule ({ node = Const c; _ }, { node = Var v; _ }), true ->
       refine acc v ~lo:(Bv.value c) ~hi:(max_of v)
-  | Term.Ule (Const c, Var v), false ->
+  | Term.Ule ({ node = Const c; _ }, { node = Var v; _ }), false ->
       if Bv.value c = 0L then acc.empty <- true
       else refine acc v ~lo:0L ~hi:(Int64.sub (Bv.value c) 1L)
   | Term.False, true | Term.True, false -> acc.empty <- true

@@ -39,7 +39,7 @@ let as_bv = function
 let rec eval t (term : Term.t) =
   let b e = as_bool (eval t e) in
   let v e = as_bv (eval t e) in
-  match term with
+  match term.Term.node with
   | True -> Vbool true
   | False -> Vbool false
   | Const bv -> Vbv bv

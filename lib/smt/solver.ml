@@ -11,6 +11,7 @@ type stats = {
   mutable budget_escalations : int;
   mutable budget_exhaustions : int;
   mutable injected_faults : int;
+  mutable cache_evictions : int;
   mutable solve_time : float;
 }
 
@@ -26,6 +27,7 @@ let fresh_stats () =
     budget_escalations = 0;
     budget_exhaustions = 0;
     injected_faults = 0;
+    cache_evictions = 0;
     solve_time = 0.;
   }
 
@@ -92,12 +94,34 @@ let set_fault_injection ?(rate = 0.) ?(exceptions = false) ?(seed = 0x5eed) () =
 
 let fault_rate () = (Atomic.get fault_config).f_rate
 
+(* Result-cache keys are the canonicalized conjunct lists. The table must
+   hash and compare them structurally whatever the sharing mode — a
+   polymorphic Hashtbl would hash the [tid]s and never hit — so it uses the
+   terms' stored structural keys. *)
+module Key_tbl = Hashtbl.Make (struct
+  type t = Term.t list
+
+  let equal = List.equal Term.equal
+  let hash key = List.fold_left (fun h t -> (h * 31) + Term.hash t) 17 key
+end)
+
+(* Satellite: the per-domain result cache is bounded. Keys are evicted in
+   insertion order (FIFO) once the cap is reached — sound because a miss
+   merely re-solves, and deterministic because insertion order is the query
+   order, which the replay discipline already fixes. *)
+let cache_capacity = Atomic.make 65536
+
+let set_cache_capacity n =
+  if n < 1 then invalid_arg "Solver.set_cache_capacity";
+  Atomic.set cache_capacity n
+
 (* Every domain gets its own stats record, result cache and cache switch, so
    parallel search workers never contend on (or corrupt) shared tables. A
    registry of all per-domain states backs the aggregate/reset APIs. *)
 type domain_state = {
   dstats : stats;
-  dcache : (Term.t list, result) Hashtbl.t;
+  dcache : result Key_tbl.t;
+  dcache_order : Term.t list Queue.t; (* insertion order, for eviction *)
   mutable dcache_enabled : bool;
   mutable dbudget : budget option;
   dslot : int; (* registration order; seeds the fault PRNG *)
@@ -113,7 +137,8 @@ let domain_key =
       let st =
         {
           dstats = fresh_stats ();
-          dcache = Hashtbl.create 1024;
+          dcache = Key_tbl.create 1024;
+          dcache_order = Queue.create ();
           dcache_enabled = true;
           dbudget = None;
           dslot = List.length !registry;
@@ -140,6 +165,7 @@ let reset_one st =
   st.budget_escalations <- 0;
   st.budget_exhaustions <- 0;
   st.injected_faults <- 0;
+  st.cache_evictions <- 0;
   st.solve_time <- 0.
 
 let reset_stats () = reset_one (stats ())
@@ -162,9 +188,23 @@ let aggregate_stats () =
       acc.budget_escalations <- acc.budget_escalations + s.budget_escalations;
       acc.budget_exhaustions <- acc.budget_exhaustions + s.budget_exhaustions;
       acc.injected_faults <- acc.injected_faults + s.injected_faults;
+      acc.cache_evictions <- acc.cache_evictions + s.cache_evictions;
       acc.solve_time <- acc.solve_time +. s.solve_time)
     states;
   acc
+
+let clear_one_cache d =
+  Key_tbl.reset d.dcache;
+  Queue.clear d.dcache_order
+
+(* Clearing is registry-wide: a per-domain clear left the other domains'
+   caches holding results computed under the configuration being abandoned,
+   which is exactly the desynchronization the reconfigure paths hit. *)
+let clear_cache () =
+  Mutex.lock registry_mutex;
+  let states = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter clear_one_cache states
 
 let reset_all_for_tests () =
   Mutex.lock registry_mutex;
@@ -173,21 +213,48 @@ let reset_all_for_tests () =
   List.iter
     (fun d ->
       reset_one d.dstats;
-      Hashtbl.reset d.dcache)
-    states
+      clear_one_cache d)
+    states;
+  Term.clear_interning ();
+  Bitblast.reset_memo_stats ()
 
-let clear_cache () = Hashtbl.reset (domain_state ()).dcache
 let set_cache_enabled b = (domain_state ()).dcache_enabled <- b
+
+let cache_stats () =
+  let d = domain_state () in
+  (Key_tbl.length d.dcache, d.dstats.cache_evictions)
+
+let aggregate_cache_entries () =
+  Mutex.lock registry_mutex;
+  let states = !registry in
+  Mutex.unlock registry_mutex;
+  List.fold_left (fun n d -> n + Key_tbl.length d.dcache) 0 states
+
+(* Insert a fresh result, evicting the oldest entry at capacity. Only keys
+   actually inserted are queued, so queue length always equals table size. *)
+let cache_insert d key r =
+  if not (Key_tbl.mem d.dcache key) then begin
+    if Key_tbl.length d.dcache >= Atomic.get cache_capacity then begin
+      let oldest = Queue.pop d.dcache_order in
+      Key_tbl.remove d.dcache oldest;
+      d.dstats.cache_evictions <- d.dstats.cache_evictions + 1
+    end;
+    Key_tbl.replace d.dcache key r;
+    Queue.push key d.dcache_order
+  end
+  else Key_tbl.replace d.dcache key r
 
 (* Flatten nested conjunctions, drop [True], dedupe and sort for a canonical
    cache key. Returns [None] when a conjunct is literally [False]. *)
 let canonicalize terms =
   let rec flatten acc = function
     | [] -> Some acc
-    | Term.True :: rest -> flatten acc rest
-    | Term.False :: _ -> None
-    | Term.And (a, b) :: rest -> flatten acc (a :: b :: rest)
-    | t :: rest -> flatten (t :: acc) rest
+    | (t : Term.t) :: rest -> (
+        match t.Term.node with
+        | Term.True -> flatten acc rest
+        | Term.False -> None
+        | Term.And (a, b) -> flatten acc (a :: b :: rest)
+        | _ -> flatten (t :: acc) rest)
   in
   Option.map (List.sort_uniq Term.compare) (flatten [] terms)
 
@@ -288,7 +355,7 @@ let check ?conflict_limit terms =
       Unsat
   | Some [] -> Sat Model.empty
   | Some key -> (
-      match if d.dcache_enabled then Hashtbl.find_opt d.dcache key else None with
+      match if d.dcache_enabled then Key_tbl.find_opt d.dcache key else None with
       | Some r ->
           st.cache_hits <- st.cache_hits + 1;
           r
@@ -302,8 +369,7 @@ let check ?conflict_limit terms =
           in
           (match r with
           | Unknown -> ()
-          | Sat _ | Unsat ->
-              if d.dcache_enabled then Hashtbl.replace d.dcache key r);
+          | Sat _ | Unsat -> if d.dcache_enabled then cache_insert d key r);
           r)
 
 let is_sat terms = match check terms with Sat _ -> true | Unsat | Unknown -> false
@@ -320,7 +386,7 @@ module Incremental = struct
   type session = {
     sat : Sat.t;
     bb : Bitblast.t;
-    indicators : (Term.t, int) Hashtbl.t; (* assumption term -> guard var *)
+    indicators : int Term.Tbl.t; (* assumption term -> guard var *)
     terms_of_guard : (int, Term.t) Hashtbl.t; (* reverse, for unsat cores *)
     mutable dead : bool; (* permanent constraints became unsatisfiable *)
   }
@@ -330,13 +396,13 @@ module Incremental = struct
     {
       sat;
       bb = Bitblast.create sat;
-      indicators = Hashtbl.create 64;
+      indicators = Term.Tbl.create 64;
       terms_of_guard = Hashtbl.create 64;
       dead = false;
     }
 
-  let assert_always session term =
-    match term with
+  let assert_always session (term : Term.t) =
+    match term.Term.node with
     | Term.True -> ()
     | Term.False -> session.dead <- true
     | _ -> Bitblast.assert_true session.bb term
@@ -345,12 +411,12 @@ module Incremental = struct
      Terms are translated (and their implication clause added) once per
      session; later checks reuse the same guard. *)
   let indicator session term =
-    match Hashtbl.find_opt session.indicators term with
+    match Term.Tbl.find_opt session.indicators term with
     | Some g -> g
     | None ->
         let g = Sat.new_var session.sat in
         Sat.add_clause session.sat [ -g; Bitblast.lit_of session.bb term ];
-        Hashtbl.replace session.indicators term g;
+        Term.Tbl.replace session.indicators term g;
         Hashtbl.replace session.terms_of_guard g term;
         g
 

@@ -103,6 +103,7 @@ type stats = {
   mutable budget_escalations : int; (* x4 retries taken *)
   mutable budget_exhaustions : int; (* ladders that ended in Unknown *)
   mutable injected_faults : int; (* faults fired by {!set_fault_injection} *)
+  mutable cache_evictions : int; (* result-cache entries dropped at the cap *)
   mutable solve_time : float; (* seconds spent inside the SAT solver *)
 }
 
@@ -119,15 +120,31 @@ val reset_stats : unit -> unit
 (** Zero the calling domain's statistics only. *)
 
 val reset_all_for_tests : unit -> unit
-(** Zero every domain's statistics and clear every domain's cache, so test
-    suites are order-independent regardless of which domains earlier cases
-    ran solver work on. Not safe while another domain is solving. *)
+(** Zero every domain's statistics, clear every domain's cache, drop every
+    domain's term-interning tables and zero the bitblast memo counters, so
+    test suites are order-independent regardless of which domains earlier
+    cases ran solver work on. Not safe while another domain is solving. *)
 
 val clear_cache : unit -> unit
-(** Drop the calling domain's result cache. *)
+(** Drop the result cache of {e every} registered domain (including
+    finished ones). Clearing must be registry-wide: reconfiguration paths
+    that cleared only the calling domain's cache left other domains serving
+    results computed under the abandoned configuration. Not safe while
+    another domain is solving. *)
 
 val set_cache_enabled : bool -> unit
 (** Toggle result caching for the calling domain. *)
+
+val set_cache_capacity : int -> unit
+(** Cap (globally) on each domain's result-cache entry count; at the cap the
+    oldest entry is evicted first (FIFO), counted in [cache_evictions].
+    Default 65536. Raises [Invalid_argument] on a non-positive cap. *)
+
+val cache_stats : unit -> int * int
+(** [(entries, evictions)] for the calling domain's result cache. *)
+
+val aggregate_cache_entries : unit -> int
+(** Total live result-cache entries across every registered domain. *)
 
 (** {1 Incremental sessions}
 

@@ -1,14 +1,26 @@
 (** Terms of the quantifier-free bitvector + boolean theory.
 
     Terms are built exclusively through the smart constructors below, which
-    perform constant folding and light algebraic simplification. The
-    resulting ASTs are pure and comparable with structural equality. *)
+    perform constant folding and light algebraic simplification. Every term
+    is a hash-consed record: [node] is the structure, [hkey] a structural
+    hash computed at construction, and [tid] a process-unique id assigned
+    when the node is first built. With sharing enabled (the default), each
+    domain interns the nodes it constructs, so structurally equal terms
+    built on one domain are physically equal and {!equal}/{!compare}/{!hash}
+    are (amortized) O(1).
+
+    The [tid] is an identity for memo tables only: it never participates in
+    {!equal}, {!compare} or {!pp}, so printed output — and everything
+    digested from it — is independent of construction order, domain count
+    and sharing mode. *)
 
 type sort = Bool | Bitvec of int
 
 type var = private { id : int; name : string; sort : sort }
 
-type t =
+type t = private { tid : int; node : node; hkey : int }
+
+and node =
   | True
   | False
   | Const of Bv.t
@@ -125,6 +137,10 @@ val vars : t -> var list
 (** Distinct variables occurring in the term, in ascending id order. *)
 
 val var_ids : t -> int list
+(** Distinct variable ids, ascending. Memoized per [tid] on the calling
+    domain while sharing is enabled (the closure computations in [Negate]
+    and [Predicate] re-ask for the same terms constantly). *)
+
 val mentions : t -> var -> bool
 val size : t -> int
 (** Number of AST nodes. *)
@@ -140,7 +156,64 @@ val alpha_key : t list -> string
     work across structurally identical client paths. *)
 
 val equal : t -> t -> bool
+(** Structural equality (ignoring [tid]), with a physical-equality fast
+    path. On interned same-domain terms this is O(1); across domains or
+    with sharing off it falls back to an [hkey]-filtered structural walk. *)
+
 val compare : t -> t -> int
+(** A total order with exactly the semantics the previous plain-ADT
+    representation got from [Stdlib.compare] (constructor order, fields
+    left to right, bitvectors by width then signed value) so every sorted
+    canonical form — and therefore every digest — is unchanged. *)
+
 val hash : t -> int
+(** The stored structural hash; O(1) in both sharing modes. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** {1 Interning control and introspection} *)
+
+val set_sharing : bool -> unit
+(** Toggle hash-consing (default on). With sharing off every construction
+    allocates a fresh node, reproducing the pre-interning cost model; all
+    results are identical in both modes, only speed and memory change. *)
+
+val sharing_enabled : unit -> bool
+
+val intern_stats : unit -> int * int
+(** [(hits, created)] for the calling domain: constructions answered from
+    the intern table vs nodes physically allocated. *)
+
+val aggregate_intern_stats : unit -> int * int
+(** Totals over every domain that has built terms (including finished
+    ones). *)
+
+val structural_work : unit -> int
+(** Total number of term nodes visited by the structural fallbacks of
+    {!equal} and {!compare} and by the traversal behind {!var_ids}, across
+    all domains — the work that sharing exists to avoid.  Physical-equality
+    hits and per-tid memo hits cost (and count) nothing. *)
+
+val clear_interning : unit -> unit
+(** Drop every domain's intern table and per-tid memo and zero the sharing
+    counters. Safe only while no other domain is constructing terms; live
+    terms stay valid (subsequent constructions simply re-intern). *)
+
+val rebuild : t -> t
+(** Re-intern a term that bypassed the smart constructors — e.g. one
+    revived by [Marshal] from a checkpoint, whose [tid]s belong to a dead
+    process and must not be allowed near tid-keyed memo tables. Rebuilds
+    bottom-up through the smart constructors (idempotent on their normal
+    forms) with a per-call memo, so DAG-shaped sharing is preserved. *)
+
+val dedup : t list -> t list
+(** Order-preserving removal of duplicate terms (by {!equal}); used to
+    dedup sibling constraints before they are sent to the solver. *)
+
+(** Hash table keyed by terms, hashing with the stored [hkey] and comparing
+    with {!equal}. The semantics are exactly those of a polymorphic
+    [Hashtbl] over the old structural representation, at O(1) per probe on
+    interned terms — which is what makes the bitblast memo and incremental-
+    session indicator maps cheap without perturbing their contents. *)
+module Tbl : Hashtbl.S with type key = t

@@ -300,8 +300,21 @@ let branch ctx (st : State.t) cond ift iff : outcomes =
   | Some true -> ift st
   | Some false -> iff st
   | None -> (
-      let t_feasible = feasible ctx (cond :: st.State.path) in
-      let f_feasible = feasible ctx (Term.not_ cond :: st.State.path) in
+      (* Syntactic subsumption before touching the solver: a side whose
+         constraint contradicts a conjunct already on the path literally
+         (cond vs (not cond)) is infeasible — the solver query would contain
+         both and come back Unsat. On complete (unbudgeted) runs this is
+         exactly the answer the solver gave; under budgets it additionally
+         prunes branches an injected/exhausted Unknown would have left
+         conservatively explored, which loses only infeasible states. *)
+      let t_feasible =
+        (not (State.has_conjunct st (Term.not_ cond)))
+        && feasible ctx (cond :: st.State.path)
+      in
+      let f_feasible =
+        (not (State.has_conjunct st cond))
+        && feasible ctx (Term.not_ cond :: st.State.path)
+      in
       match t_feasible, f_feasible with
       | true, true ->
           if st.State.depth + 1 > ctx.config.max_depth then

@@ -363,7 +363,8 @@ let qcheck_symbolic_constant_folding_matches =
       match run.Interp.terminals with
       | [ st ] -> (
           match
-            Achilles_symvm.State.String_map.find "out" st.State.globals
+            (Achilles_symvm.State.String_map.find "out" st.State.globals)
+              .Achilles_smt.Term.node
           with
           | Achilles_smt.Term.Const v -> Bv.equal v concrete
           | _ -> false)
