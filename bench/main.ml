@@ -856,6 +856,88 @@ let experiment_sharing () =
   csv_dir := saved;
   if !failed then exit 1
 
+(* --- E14: per-phase profile through the tracing layer ------------------------------- *)
+
+module Obs = Achilles_obs.Obs
+
+let experiment_profile () =
+  banner "E14: per-phase time attribution — tracing + trace summarize";
+  let profile name run =
+    Solver.reset_all_for_tests ();
+    Term.set_fresh_counter 0;
+    let file =
+      Filename.temp_file ("achilles-profile-" ^ name ^ "-") ".jsonl"
+    in
+    Obs.Trace.enable file;
+    ignore (run ());
+    Obs.Trace.disable ();
+    let summary =
+      match Obs.Summary.load file with
+      | Ok s -> s
+      | Error e ->
+          Format.printf "  %s: trace unreadable: %s@." name e;
+          exit 1
+    in
+    Sys.remove file;
+    (name, summary)
+  in
+  let fsp =
+    profile "fsp" (fun () ->
+        Achilles.analyze ~search_config:fsp_search_config
+          ~layout:Fsp_model.layout ~clients:(Fsp_model.clients ())
+          ~server:Fsp_model.server ())
+  in
+  let pbft =
+    profile "pbft" (fun () ->
+        Achilles.analyze
+          ~search_config:(Lazy.force pbft_config)
+          ~layout:Pbft_model.layout ~clients:[ Pbft_model.client ]
+          ~server:Pbft_model.replica ())
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (name, (s : Obs.Summary.t)) ->
+      let open Obs.Summary in
+      Format.printf "@.  %s: %.3fs wall, %.1f%% attributed to phases@." name
+        s.wall
+        (100. *. s.attributed);
+      Format.printf "    %-16s %10s %8s %8s@." "phase" "self(s)" "share"
+        "spans";
+      let sorted =
+        List.sort (fun a b -> compare b.self_seconds a.self_seconds) s.rows
+      in
+      List.iter
+        (fun r ->
+          let share =
+            if s.wall > 0. then r.self_seconds /. s.wall else 0.
+          in
+          Format.printf "    %-16s %10.3f %7.1f%% %8d@." r.row_phase
+            r.self_seconds (100. *. share) r.row_spans;
+          rows :=
+            Printf.sprintf "%s,%s,%.6f,%.6f,%d,%.4f" name r.row_phase
+              r.self_seconds r.total_seconds r.row_spans share
+            :: !rows)
+        sorted)
+    [ fsp; pbft ];
+  (* always persist the per-phase shares, like the other figure experiments *)
+  let saved = !csv_dir in
+  if saved = None then begin
+    (try Unix.mkdir "bench" 0o755
+     with Unix.Unix_error ((Unix.EEXIST | Unix.EPERM), _, _) -> ());
+    csv_dir := Some (Filename.concat "bench" "figures")
+  end;
+  write_csv "profile.csv" "target,phase,self_s,total_s,spans,share_of_wall"
+    (List.rev !rows);
+  csv_dir := saved;
+  (* acceptance: the taxonomy must account for (almost) the whole FSP run *)
+  let _, (fsp_summary : Obs.Summary.t) = fsp in
+  if fsp_summary.Obs.Summary.attributed < 0.95 then begin
+    Format.printf
+      "  FAIL: only %.1f%% of the FSP run attributed to named phases (< 95%%)@."
+      (100. *. fsp_summary.Obs.Summary.attributed);
+    exit 1
+  end
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------------------ *)
 
 let bechamel_benchmarks () =
@@ -992,6 +1074,7 @@ let experiments =
     ("scaling", experiment_scaling);
     ("robustness", experiment_robustness);
     ("sharing", experiment_sharing);
+    ("profile", experiment_profile);
   ]
 
 let () =

@@ -10,6 +10,7 @@ open Achilles_symvm
 open Achilles_core
 open Achilles_targets
 module Smt_term = Term
+module Obs = Achilles_obs.Obs
 open Cmdliner
 
 type target = {
@@ -168,6 +169,38 @@ let verbose_arg =
   let doc = "Also print the symbolic Trojan expressions." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a JSONL event trace (span begin/end, solver verdicts, drops, \
+     cache hits/misses, shard lifecycle) to $(docv). Defaults to \
+     $(b,ACHILLES_TRACE) when set. Inspect with $(b,trace summarize); \
+     convert for Perfetto with $(b,trace export)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* --trace flag, else the ACHILLES_TRACE environment variable. *)
+let setup_trace trace =
+  match (match trace with Some _ -> trace | None -> Obs.Trace.file_of_env ()) with
+  | Some file -> Obs.Trace.enable file
+  | None -> ()
+
+(* --verbose goes through the event layer: the same "report"/"trojan_symbolic"
+   events land in the trace file (when enabled) and in this sink, so verbose
+   output can never drift from what the trace records. *)
+let install_verbose_sink () =
+  Obs.set_sink
+    (Some
+       (fun ev ->
+         if ev.Obs.ev_kind = "report" && ev.Obs.ev_name = "trojan_symbolic"
+         then
+           match List.assoc_opt "symbolic" ev.Obs.ev_args with
+           | Some (Obs.S text) ->
+               Format.printf "  symbolic expression:@.";
+               List.iter
+                 (fun line -> Format.printf "    %s@." line)
+                 (String.split_on_char '\n' text)
+           | _ -> ()))
+
 let explain_arg =
   let doc =
     "Print, for each dropped client path, the unsat core of server \
@@ -212,13 +245,26 @@ let list_cmd =
     Term.(const run $ const ())
 
 let analyze name mask witnesses no_drop no_df no_prune verbose explain domains
-    deadline solver_budget checkpoint_dir resume =
+    deadline solver_budget checkpoint_dir resume trace =
   match find_target name with
   | Error e ->
       Format.eprintf "%s@." e;
       1
   | Ok target ->
       install_signal_handlers ();
+      setup_trace trace;
+      if verbose then install_verbose_sink ();
+      Fun.protect
+        ~finally:(fun () ->
+          (* also the SIGINT/SIGTERM partial-flush path: the search winds
+             down cooperatively and control always comes back through here,
+             closing (and thereby flushing) the trace before exit *)
+          Obs.set_sink None;
+          Obs.Trace.disable ())
+      @@ fun () ->
+      Obs.emit ~kind:"meta" ~name:"analyze"
+        ~args:[ ("target", Obs.S name); ("domains", Obs.I domains) ]
+        ();
       let solver_budget =
         match (deadline, solver_budget) with
         | None, None -> None
@@ -249,28 +295,40 @@ let analyze name mask witnesses no_drop no_df no_prune verbose explain domains
         Achilles.analyze ~search_config:config ~layout:target.layout
           ~clients:target.clients ~server:target.server ()
       in
-      Format.printf "%a@.@." Achilles.pp_summary analysis;
-      List.iter
-        (fun (t : Search.trojan) ->
-          Format.printf "%a@." (Report.pp_trojan target.layout) t;
-          if verbose then begin
-            Format.printf "  symbolic expression:@.";
+      Obs.span Obs.Report (fun () ->
+          Format.printf "%a@.@." Achilles.pp_summary analysis;
+          List.iter
+            (fun (t : Search.trojan) ->
+              Format.printf "%a@." (Report.pp_trojan target.layout) t;
+              if verbose || Obs.live () then
+                let rendered =
+                  String.concat "\n"
+                    (List.map
+                       (fun c -> Format.asprintf "%a" Smt_term.pp c)
+                       t.Search.symbolic)
+                in
+                Obs.emit ~kind:"report" ~name:"trojan_symbolic"
+                  ~args:
+                    [
+                      ("state", Obs.I t.Search.server_state_id);
+                      ("label", Obs.S t.Search.accept_label);
+                      ("symbolic", Obs.S rendered);
+                    ]
+                  ())
+            (Achilles.trojans analysis);
+          if explain then begin
+            Format.printf "@.-- why client paths were dropped --@.";
             List.iter
-              (fun c -> Format.printf "    %a@." Smt_term.pp c)
-              t.Search.symbolic
-          end)
-        (Achilles.trojans analysis);
-      if explain then begin
-        Format.printf "@.-- why client paths were dropped --@.";
-        List.iter
-          (fun (d : Search.drop_explanation) ->
-            Format.printf "  client path %d died at server state %d because:@."
-              d.Search.dropped_path d.Search.at_state;
-            List.iter
-              (fun c -> Format.printf "    %a@." Smt_term.pp c)
-              d.Search.conflicting)
-          analysis.Achilles.report.Search.drops
-      end;
+              (fun (d : Search.drop_explanation) ->
+                Format.printf
+                  "  client path %d died at server state %d because:@."
+                  d.Search.dropped_path d.Search.at_state;
+                List.iter
+                  (fun c -> Format.printf "    %a@." Smt_term.pp c)
+                  d.Search.conflicting)
+              analysis.Achilles.report.Search.drops
+          end);
+      Format.printf "@.%a@." Report.pp_metrics (Obs.aggregate ());
       exit_code_of analysis.Achilles.report
 
 let analyze_cmd =
@@ -287,7 +345,8 @@ let analyze_cmd =
     Term.(
       const analyze $ target_arg $ mask_arg $ witnesses_arg $ no_drop_arg
       $ no_df_arg $ no_prune_arg $ verbose_arg $ explain_arg $ domains_arg
-      $ deadline_arg $ solver_budget_arg $ checkpoint_dir_arg $ resume_arg)
+      $ deadline_arg $ solver_budget_arg $ checkpoint_dir_arg $ resume_arg
+      $ trace_arg)
 
 let predicate name =
   match find_target name with
@@ -394,6 +453,94 @@ let replay_cmd =
           concretely executed server (fire-drill mode)")
     Term.(const replay $ target_arg $ witnesses_arg)
 
+(* --- trace inspection ------------------------------------------------------------- *)
+
+let trace_file_arg =
+  let doc = "JSONL trace file written by $(b,analyze --trace)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let trace_summarize file =
+  match Obs.Summary.load file with
+  | Error e ->
+      Format.eprintf "trace summarize: %s@." e;
+      1
+  | Ok s ->
+      let open Obs.Summary in
+      Format.printf
+        "Trace: %d events over %.3fs wall; %.1f%% of wall-clock attributed \
+         to named phases@.@."
+        s.events s.wall (100. *. s.attributed);
+      Format.printf "%-16s %10s %8s %10s %8s %10s@." "phase" "self(s)"
+        "share" "total(s)" "spans" "max(ms)";
+      let rows =
+        List.sort (fun a b -> compare b.self_seconds a.self_seconds) s.rows
+      in
+      List.iter
+        (fun r ->
+          Format.printf "%-16s %10.3f %7.1f%% %10.3f %8d %10.2f@." r.row_phase
+            r.self_seconds
+            (if s.wall > 0. then 100. *. r.self_seconds /. s.wall else 0.)
+            r.total_seconds r.row_spans (1000. *. r.max_seconds))
+        rows;
+      if s.verdicts <> [] then begin
+        Format.printf "@.solver verdicts:";
+        List.iter (fun (v, n) -> Format.printf " %s=%d" v n) s.verdicts;
+        Format.printf "@."
+      end;
+      if s.cache_hits > 0 || s.cache_misses > 0 then
+        Format.printf "solver cache:    %d hits, %d misses@." s.cache_hits
+          s.cache_misses;
+      if s.counters <> [] then begin
+        Format.printf "@.counters:@.";
+        List.iter
+          (fun (name, n) -> Format.printf "  %-28s %d@." name n)
+          s.counters
+      end;
+      if s.kinds <> [] then begin
+        Format.printf "@.events by kind:@.";
+        List.iter (fun (k, n) -> Format.printf "  %-28s %d@." k n) s.kinds
+      end;
+      0
+
+let trace_summarize_cmd =
+  Cmd.v
+    (Cmd.info "summarize"
+       ~doc:
+         "Print a per-phase time/query breakdown of a JSONL trace. Self-time \
+          attribution: nested spans (a solver query inside the server \
+          search) are charged to the innermost phase only.")
+    Term.(const trace_summarize $ trace_file_arg)
+
+let trace_export file output =
+  let dst =
+    match output with Some o -> o | None -> file ^ ".chrome.json"
+  in
+  match Obs.Chrome.export ~src:file ~dst with
+  | Error e ->
+      Format.eprintf "trace export: %s@." e;
+      1
+  | Ok () ->
+      Format.printf
+        "wrote %s (load in Perfetto / chrome://tracing as a flamegraph)@." dst;
+      0
+
+let trace_export_cmd =
+  let output_arg =
+    let doc = "Output path (default: $(i,FILE).chrome.json)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Convert a JSONL trace to Chrome trace-event JSON for Perfetto / \
+          chrome://tracing")
+    Term.(const trace_export $ trace_file_arg $ output_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Inspect JSONL traces written by analyze --trace")
+    [ trace_summarize_cmd; trace_export_cmd ]
+
 let () =
   let doc = "find Trojan messages in distributed system implementations" in
   let info = Cmd.info "achilles" ~version:"1.0.0" ~doc in
@@ -407,4 +554,5 @@ let () =
             replay_cmd;
             show_cmd;
             conformance_cmd;
+            trace_cmd;
           ]))

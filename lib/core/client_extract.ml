@@ -1,4 +1,5 @@
 open Achilles_symvm
+module Obs = Achilles_obs.Obs
 
 type stats = {
   programs : int;
@@ -8,6 +9,7 @@ type stats = {
 }
 
 let extract ?(config = Interp.default_config) ~layout programs =
+  Obs.span Obs.Client_se @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let captured = ref [] in
   let paths_explored = ref 0 in
@@ -39,6 +41,8 @@ let extract ?(config = Interp.default_config) ~layout programs =
            { Predicate.cp_id; source; message; constraints })
   in
   let predicate = { Predicate.layout; paths } in
+  Obs.count ~n:(List.length paths) "client.messages_captured";
+  Obs.count ~n:!paths_explored "client.paths_explored";
   let stats =
     {
       programs = List.length programs;

@@ -1,5 +1,6 @@
 open Achilles_smt
 open Achilles_symvm
+module Obs = Achilles_obs.Obs
 
 type t = {
   layout : Layout.t;
@@ -60,6 +61,7 @@ let field_signature ~layout field_name (p : Predicate.client_path) =
   Term.alpha_key (value :: constraints)
 
 let compute ?(memoize = true) ?mask ?pool (pc : Predicate.client_predicate) =
+  Obs.span Obs.Different_from @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let layout = pc.Predicate.layout in
   let fields = Predicate.independent_fields ?mask pc in
@@ -139,6 +141,7 @@ let compute ?(memoize = true) ?mask ?pool (pc : Predicate.client_predicate) =
       plan
   in
   let pairs_checked = ref (Array.length checks) in
+  Obs.count ~n:!pairs_checked "different_from.pair_checks";
   let t = { layout; fields; n_paths = n; matrix } in
   let stats =
     {

@@ -1,5 +1,6 @@
 open Achilles_smt
 open Achilles_symvm
+module Obs = Achilles_obs.Obs
 
 let related_constraints (path : Predicate.client_path) seed_ids =
   let rec closure ids =
@@ -48,6 +49,8 @@ let negate_field ~layout ~target (path : Predicate.client_path) field_name =
 
 let negate_path ?(check_overlap = true) ?mask ~layout ~server_vars
     (path : Predicate.client_path) =
+  Obs.span Obs.Negate @@ fun () ->
+  Obs.count "negate.paths_negated";
   let server_bytes = Array.map Term.var server_vars in
   let binding = lazy (Predicate.bind_to_server ~server_vars path) in
   let fields = Predicate.analyzed_fields ?mask layout in

@@ -7,6 +7,8 @@
    worker on the subtree it just split) and steal oldest-first from their
    siblings (FIFO takes the biggest remaining chunk). *)
 
+module Obs = Achilles_obs.Obs
+
 module Deque = struct
   type 'a t = {
     mutable front : 'a list; (* oldest first *)
@@ -70,7 +72,9 @@ let find_task p w =
         if k = p.size then None
         else
           match Deque.pop_front p.deques.((w + k) mod p.size) with
-          | Some t -> Some t
+          | Some t ->
+              Obs.count "pool.tasks_stolen";
+              Some t
           | None -> steal (k + 1)
       in
       steal 1
@@ -91,6 +95,7 @@ let worker_loop p w =
           loop ()
       | Some task ->
           Mutex.unlock p.mutex;
+          Obs.count "pool.tasks_executed";
           let failed =
             try
               task.run ();
@@ -188,6 +193,7 @@ let map_with_retries ?(retries = 2)
              | v -> results.(i) <- Some { result = Ok v; attempts = k + 1 }
              | exception exn ->
                  if k < retries then begin
+                   Obs.count "pool.task_retries";
                    let pause = backoff k in
                    if pause > 0. then Unix.sleepf pause;
                    attempt (k + 1)

@@ -75,6 +75,26 @@ let pp_coverage fmt (c : Search.coverage) =
       /. float_of_int c.Search.solver_queries);
   Format.fprintf fmt "@]"
 
+(* Counts only: span durations and histograms are wall-clock and belong in
+   the trace file, never in report text that digests could be derived from.
+   Phases with no spans and empty counter sets are omitted so untraced
+   sequential runs don't render a wall of zeros. *)
+let pp_metrics fmt (snap : Achilles_obs.Obs.snapshot) =
+  let module Obs = Achilles_obs.Obs in
+  let phases = List.filter (fun (_, m) -> m.Obs.spans > 0) snap.Obs.phases in
+  let counters = List.filter (fun (_, n) -> n > 0) snap.Obs.counters in
+  if phases <> [] || counters <> [] then begin
+    Format.fprintf fmt "@[<v>Metrics (counts; timings go to --trace):@,";
+    List.iter
+      (fun (p, m) ->
+        Format.fprintf fmt "  %-28s %d spans@," (Obs.phase_name p) m.Obs.spans)
+      phases;
+    List.iter
+      (fun (name, n) -> Format.fprintf fmt "  %-28s %d@," name n)
+      counters;
+    Format.fprintf fmt "@]"
+  end
+
 let discovery_curve ~total trojans =
   let total = max total 1 in
   List.mapi

@@ -17,6 +17,13 @@ val pp_coverage : Format.formatter -> Search.coverage -> unit
     injected faults. Quiet counters are omitted; a fault-free complete run
     renders as a single "complete" line. *)
 
+val pp_metrics : Format.formatter -> Achilles_obs.Obs.snapshot -> unit
+(** The observability metrics block: per-phase span counts and named
+    counters from {!Achilles_obs.Obs.aggregate}. Counts only — digest-stable
+    by construction, since digests never cover it and wall-clock values are
+    confined to the trace file. Renders nothing when no spans or counters
+    were recorded. *)
+
 val discovery_curve :
   total:int -> Search.trojan list -> (float * float) list
 (** Cumulative discovery points [(seconds, percent-of-total)] in found

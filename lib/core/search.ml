@@ -1,5 +1,6 @@
 open Achilles_smt
 open Achilles_symvm
+module Obs = Achilles_obs.Obs
 
 type config = {
   drop_alive : bool;
@@ -392,7 +393,16 @@ let on_constraint ctx (st : State.t) cond =
                       && not (Different_from.different df ~i:j ~j:i ~field:a)
                     then begin
                       Hashtbl.replace dropped j ();
-                      incr transitive_here
+                      incr transitive_here;
+                      Obs.count "search.transitive_drops";
+                      if Obs.live () then
+                        Obs.emit ~kind:"drop" ~name:"transitive"
+                          ~args:
+                            [
+                              ("route", Obs.S st.State.route);
+                              ("path", Obs.I j);
+                            ]
+                          ()
                     end)
                   (all_indices ctx)
             | _ -> ()
@@ -439,6 +449,15 @@ let on_constraint ctx (st : State.t) cond =
                         incr drop_ord
                     | None -> ()
                   end;
+                  Obs.count "search.client_path_drops";
+                  if Obs.live () then
+                    Obs.emit ~kind:"drop" ~name:"client_path"
+                      ~args:
+                        [
+                          ("route", Obs.S st.State.route);
+                          ("path", Obs.I i);
+                        ]
+                      ();
                   Hashtbl.replace dropped i ();
                   maybe_transitive_drop i
               end)
@@ -464,7 +483,14 @@ let on_constraint ctx (st : State.t) cond =
             if recording then ctx.n_unknown_prune <- ctx.n_unknown_prune + 1;
             false
       in
-      if pruned then ctx.n_pruned <- ctx.n_pruned + 1;
+      if pruned then begin
+        ctx.n_pruned <- ctx.n_pruned + 1;
+        Obs.count "search.pruned_states";
+        if Obs.live () then
+          Obs.emit ~kind:"drop" ~name:"pruned"
+            ~args:[ ("route", Obs.S st.State.route) ]
+            ()
+      end;
       if recording then begin
         let plen = List.length st.State.path in
         let n_alive = List.length alive in
@@ -554,6 +580,16 @@ let emit_trojans ctx (st : State.t) label =
                        witness)))
       in
       let emit ~n ~confirmed witness =
+        Obs.count "search.trojans_emitted";
+        if Obs.live () then
+          Obs.emit ~kind:"trojan" ~name:label
+            ~args:
+              [
+                ("route", Obs.S st.State.route);
+                ("idx", Obs.I n);
+                ("confirmed", Obs.B confirmed);
+              ]
+            ();
         let found_at = Unix.gettimeofday () -. ctx.started in
         match ctx.recorder with
         | None ->
@@ -695,7 +731,9 @@ let run_sequential ~config ~different_from ~client ~server ~started =
   let run_result =
     Fun.protect
       ~finally:(fun () -> Solver.set_budget saved_budget)
-      (fun () -> Interp.run ~config:config.interp ~hooks:(hooks_of ctx) server)
+      (fun () ->
+        Obs.span Obs.Server_se (fun () ->
+            Interp.run ~config:config.interp ~hooks:(hooks_of ctx) server))
   in
   let stats =
     {
@@ -810,6 +848,9 @@ let shard_file dir idx =
   Filename.concat dir (Printf.sprintf "shard-%04d.ckpt" idx)
 
 let write_shard_checkpoint ~dir ~fingerprint ~idx (recorder, counter) =
+  Obs.span Obs.Checkpoint_io @@ fun () ->
+  if Obs.live () then
+    Obs.emit ~kind:"checkpoint" ~name:"write" ~args:[ ("index", Obs.I idx) ] ();
   let path = shard_file dir idx in
   let tmp = Printf.sprintf "%s.tmp.%d" path idx in
   let oc = open_out_bin tmp in
@@ -839,6 +880,9 @@ let rebuild_recorder r =
   r
 
 let load_shard_checkpoint ~dir ~fingerprint ~idx : (recorder * int) option =
+  Obs.span Obs.Checkpoint_io @@ fun () ->
+  if Obs.live () then
+    Obs.emit ~kind:"checkpoint" ~name:"load" ~args:[ ("index", Obs.I idx) ] ();
   let path = shard_file dir idx in
   if not (Sys.file_exists path) then None
   else
@@ -873,6 +917,9 @@ let split_bits_of config =
   | None -> min 8 (ceil_log2 config.domains + 2)
 
 let run_parallel ~config ~different_from ~client ~server ~started =
+  (* One main-domain span covering sharding, pool execution and the merge:
+     worker domains open their own nested Server_se spans per shard. *)
+  Obs.span Obs.Server_se @@ fun () ->
   let bits = split_bits_of config in
   let n_tasks = 1 lsl bits in
   let base = Term.fresh_counter_value () in
@@ -897,6 +944,10 @@ let run_parallel ~config ~different_from ~client ~server ~started =
        shard [idx] — retries happen in place on that same worker. *)
     let attempt = attempts_seen.(idx) in
     attempts_seen.(idx) <- attempt + 1;
+    if Obs.live () then
+      Obs.emit ~kind:"shard" ~name:(if attempt = 0 then "start" else "retry")
+        ~args:[ ("index", Obs.I idx); ("attempt", Obs.I attempt) ]
+        ();
     (match config.chaos with
     | Some hook -> hook ~shard_index:idx ~attempt
     | None -> ());
@@ -915,11 +966,17 @@ let run_parallel ~config ~different_from ~client ~server ~started =
           ~recorder:(Some recorder) ~started
       in
       let iconfig = { config.interp with Interp.shard = Some shard } in
-      ignore (Interp.run ~config:iconfig ~hooks:(hooks_of ctx) server);
+      Obs.span Obs.Server_se (fun () ->
+          ignore (Interp.run ~config:iconfig ~hooks:(hooks_of ctx) server));
       ignore (Atomic.fetch_and_add abandoned ctx.n_abandoned);
-      if config.cancel () then
+      if config.cancel () then begin
         (* the event log is partial: neither checkpoint nor merge it *)
+        if Obs.live () then
+          Obs.emit ~kind:"shard" ~name:"cancelled"
+            ~args:[ ("index", Obs.I idx) ]
+            ();
         None
+      end
       else begin
         recorder.rec_unknown_alive <- ctx.n_unknown_alive;
         recorder.rec_unknown_prune <- ctx.n_unknown_prune;
@@ -931,6 +988,10 @@ let run_parallel ~config ~different_from ~client ~server ~started =
         (match config.checkpoint_dir with
         | Some dir -> write_shard_checkpoint ~dir ~fingerprint ~idx out
         | None -> ());
+        if Obs.live () then
+          Obs.emit ~kind:"shard" ~name:"done"
+            ~args:[ ("index", Obs.I idx); ("attempt", Obs.I attempt) ]
+            ();
         Some out
       end
     end
@@ -958,7 +1019,12 @@ let run_parallel ~config ~different_from ~client ~server ~started =
       match outcomes.(k).Pool.result with
       | Ok (Some out) -> shard_results.(idx) <- `Done (out, false)
       | Ok None -> () (* cancelled before completing: stays missing *)
-      | Error _ -> shard_results.(idx) <- `Failed)
+      | Error _ ->
+          if Obs.live () then
+            Obs.emit ~kind:"shard" ~name:"failed"
+              ~args:[ ("index", Obs.I idx) ]
+              ();
+          shard_results.(idx) <- `Failed)
     missing;
   let outs_resumed =
     List.filter_map

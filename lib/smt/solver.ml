@@ -1,8 +1,11 @@
+module Obs = Achilles_obs.Obs
+
 type result = Sat of Model.t | Unsat | Unknown
 
 type stats = {
   mutable queries : int;
   mutable cache_hits : int;
+  mutable cache_misses : int;
   mutable interval_prunes : int;
   mutable sat_calls : int;
   mutable sat_results : int;
@@ -19,6 +22,7 @@ let fresh_stats () =
   {
     queries = 0;
     cache_hits = 0;
+    cache_misses = 0;
     interval_prunes = 0;
     sat_calls = 0;
     sat_results = 0;
@@ -157,6 +161,7 @@ let get_budget () = (domain_state ()).dbudget
 let reset_one st =
   st.queries <- 0;
   st.cache_hits <- 0;
+  st.cache_misses <- 0;
   st.interval_prunes <- 0;
   st.sat_calls <- 0;
   st.sat_results <- 0;
@@ -180,6 +185,7 @@ let aggregate_stats () =
       let s = d.dstats in
       acc.queries <- acc.queries + s.queries;
       acc.cache_hits <- acc.cache_hits + s.cache_hits;
+      acc.cache_misses <- acc.cache_misses + s.cache_misses;
       acc.interval_prunes <- acc.interval_prunes + s.interval_prunes;
       acc.sat_calls <- acc.sat_calls + s.sat_calls;
       acc.sat_results <- acc.sat_results + s.sat_results;
@@ -216,13 +222,33 @@ let reset_all_for_tests () =
       clear_one_cache d)
     states;
   Term.clear_interning ();
-  Bitblast.reset_memo_stats ()
+  Bitblast.reset_memo_stats ();
+  Obs.reset_all ()
 
 let set_cache_enabled b = (domain_state ()).dcache_enabled <- b
 
+(* Labeled view of this domain's result-cache behaviour — the bare
+   [entries, evictions] tuple this replaced invited silent transpositions
+   at call sites. *)
+type cache_stats = {
+  cache_entries : int;
+  cache_hit_count : int;
+  cache_miss_count : int;
+  cache_eviction_count : int;
+}
+
 let cache_stats () =
   let d = domain_state () in
-  (Key_tbl.length d.dcache, d.dstats.cache_evictions)
+  {
+    cache_entries = Key_tbl.length d.dcache;
+    cache_hit_count = d.dstats.cache_hits;
+    cache_miss_count = d.dstats.cache_misses;
+    cache_eviction_count = d.dstats.cache_evictions;
+  }
+
+let cache_stats_pair () =
+  let c = cache_stats () in
+  (c.cache_entries, c.cache_eviction_count)
 
 let aggregate_cache_entries () =
   Mutex.lock registry_mutex;
@@ -290,20 +316,35 @@ let fault_fires d =
    [conflict_limit]), preserving the historical semantics. *)
 let with_budget ~conflict_limit d attempt =
   let st = d.dstats in
-  let finish r =
+  (* [rung] is how many escalations the answer needed (0 = first attempt);
+     it reaches the trace so budget tuning can see which queries struggled. *)
+  let finish ~rung r =
     (match r with
     | Unknown -> st.unknown_results <- st.unknown_results + 1
     | Sat _ | Unsat -> ());
+    if Obs.live () then
+      Obs.emit ~kind:"solver" ~name:"verdict"
+        ~args:
+          [
+            ( "result",
+              Obs.S
+                (match r with
+                | Sat _ -> "sat"
+                | Unsat -> "unsat"
+                | Unknown -> "unknown") );
+            ("rung", Obs.I rung);
+          ]
+        ();
     r
   in
   match d.dbudget with
-  | None -> finish (attempt ~conflict_limit ~deadline:None)
+  | None -> finish ~rung:0 (attempt ~conflict_limit ~deadline:None)
   | Some b ->
       let base_conflicts =
         match conflict_limit with Some _ -> conflict_limit | None -> b.b_conflicts
       in
       if base_conflicts = None && b.b_deadline = None then
-        finish (attempt ~conflict_limit:None ~deadline:None)
+        finish ~rung:0 (attempt ~conflict_limit:None ~deadline:None)
       else begin
         let rec go i scale =
           let deadline =
@@ -318,8 +359,8 @@ let with_budget ~conflict_limit d attempt =
               go (i + 1) (scale * 4)
           | Unknown ->
               st.budget_exhaustions <- st.budget_exhaustions + 1;
-              finish Unknown
-          | r -> finish r
+              finish ~rung:i Unknown
+          | r -> finish ~rung:i r
         in
         go 0 1
       end
@@ -330,7 +371,7 @@ let solve_with_sat d terms ~conflict_limit ~deadline =
   else begin
     let sat = Sat.create () in
     let bb = Bitblast.create sat in
-    List.iter (Bitblast.assert_true bb) terms;
+    Obs.span Obs.Bitblast (fun () -> List.iter (Bitblast.assert_true bb) terms);
     st.sat_calls <- st.sat_calls + 1;
     let t0 = Unix.gettimeofday () in
     let answer = Sat.solve ?conflict_limit ?deadline sat in
@@ -349,28 +390,36 @@ let check ?conflict_limit terms =
   let d = domain_state () in
   let st = d.dstats in
   st.queries <- st.queries + 1;
-  match canonicalize terms with
-  | None ->
-      st.unsat_results <- st.unsat_results + 1;
-      Unsat
-  | Some [] -> Sat Model.empty
-  | Some key -> (
-      match if d.dcache_enabled then Key_tbl.find_opt d.dcache key else None with
-      | Some r ->
-          st.cache_hits <- st.cache_hits + 1;
-          r
+  Obs.span Obs.Solver_query (fun () ->
+      match canonicalize terms with
       | None ->
-          let r =
-            if Interval.definitely_unsat key then begin
-              st.interval_prunes <- st.interval_prunes + 1;
-              Unsat
-            end
-            else with_budget ~conflict_limit d (solve_with_sat d key)
-          in
-          (match r with
-          | Unknown -> ()
-          | Sat _ | Unsat -> if d.dcache_enabled then cache_insert d key r);
-          r)
+          st.unsat_results <- st.unsat_results + 1;
+          Unsat
+      | Some [] -> Sat Model.empty
+      | Some key -> (
+          match
+            if d.dcache_enabled then Key_tbl.find_opt d.dcache key else None
+          with
+          | Some r ->
+              st.cache_hits <- st.cache_hits + 1;
+              if Obs.live () then Obs.emit ~kind:"cache" ~name:"hit" ();
+              r
+          | None ->
+              if d.dcache_enabled then begin
+                st.cache_misses <- st.cache_misses + 1;
+                if Obs.live () then Obs.emit ~kind:"cache" ~name:"miss" ()
+              end;
+              let r =
+                if Interval.definitely_unsat key then begin
+                  st.interval_prunes <- st.interval_prunes + 1;
+                  Unsat
+                end
+                else with_budget ~conflict_limit d (solve_with_sat d key)
+              in
+              (match r with
+              | Unknown -> ()
+              | Sat _ | Unsat -> if d.dcache_enabled then cache_insert d key r);
+              r))
 
 let is_sat terms = match check terms with Sat _ -> true | Unsat | Unknown -> false
 let is_unsat terms = match check terms with Unsat -> true | Sat _ | Unknown -> false
@@ -425,11 +474,15 @@ module Incremental = struct
     let st = d.dstats in
     st.queries <- st.queries + 1;
     if session.dead then Unsat
-    else begin
+    else
+      Obs.span Obs.Solver_query (fun () ->
       match canonicalize terms with
       | None -> Unsat
       | Some terms ->
-          let assumptions = List.map (indicator session) terms in
+          let assumptions =
+            Obs.span Obs.Bitblast (fun () ->
+                List.map (indicator session) terms)
+          in
           with_budget ~conflict_limit d (fun ~conflict_limit ~deadline ->
               if fault_fires d then Unknown
               else begin
@@ -450,8 +503,7 @@ module Incremental = struct
                        which the next unassumed call would reveal. *)
                     Unsat
                 | None -> Unknown
-              end)
-    end
+              end))
 
   (* The subset of the last check's terms already responsible for its
      unsatisfiability; [None] when the permanent constraints alone are

@@ -95,6 +95,7 @@ val fault_rate : unit -> float
 type stats = {
   mutable queries : int;
   mutable cache_hits : int;
+  mutable cache_misses : int; (* enabled-cache lookups that missed *)
   mutable interval_prunes : int; (* queries settled by the interval check *)
   mutable sat_calls : int;
   mutable sat_results : int;
@@ -140,8 +141,21 @@ val set_cache_capacity : int -> unit
     oldest entry is evicted first (FIFO), counted in [cache_evictions].
     Default 65536. Raises [Invalid_argument] on a non-positive cap. *)
 
-val cache_stats : unit -> int * int
-(** [(entries, evictions)] for the calling domain's result cache. *)
+type cache_stats = {
+  cache_entries : int; (* live entries in this domain's result cache *)
+  cache_hit_count : int;
+  cache_miss_count : int;
+  cache_eviction_count : int;
+}
+
+val cache_stats : unit -> cache_stats
+(** Labeled result-cache statistics for the calling domain. *)
+
+val cache_stats_pair : unit -> int * int
+  [@@deprecated "use cache_stats: the bare (entries, evictions) tuple is \
+                 easy to transpose"]
+(** [(entries, evictions)] for the calling domain's result cache — shim for
+    the pre-observability tuple API. *)
 
 val aggregate_cache_entries : unit -> int
 (** Total live result-cache entries across every registered domain. *)

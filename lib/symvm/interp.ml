@@ -1,4 +1,5 @@
 open Achilles_smt
+module Obs = Achilles_obs.Obs
 module String_map = State.String_map
 
 exception Runtime_error of string
@@ -307,12 +308,20 @@ let branch ctx (st : State.t) cond ift iff : outcomes =
          exactly the answer the solver gave; under budgets it additionally
          prunes branches an injected/exhausted Unknown would have left
          conservatively explored, which loses only infeasible states. *)
+      let subsumed side =
+        Obs.count "interp.subsumed_branches";
+        if Obs.live () then
+          Obs.emit ~kind:"drop" ~name:"subsumed"
+            ~args:[ ("route", Obs.S st.State.route); ("side", Obs.S side) ]
+            ();
+        true
+      in
       let t_feasible =
-        (not (State.has_conjunct st (Term.not_ cond)))
+        (not (State.has_conjunct st (Term.not_ cond) && subsumed "true"))
         && feasible ctx (cond :: st.State.path)
       in
       let f_feasible =
-        (not (State.has_conjunct st cond))
+        (not (State.has_conjunct st cond && subsumed "false"))
         && feasible ctx (Term.not_ cond :: st.State.path)
       in
       match t_feasible, f_feasible with

@@ -350,7 +350,7 @@ let test_clear_cache_all_domains () =
               for i = 0 to 4 do
                 ignore (Solver.is_sat (query_of_int ((d * 100) + i)))
               done;
-              fst (Solver.cache_stats ())))
+              (Solver.cache_stats ()).Solver.cache_entries))
     in
     List.map Domain.join domains
   in
@@ -379,9 +379,11 @@ let test_cache_eviction_at_capacity () =
       (* a fixed pool: re-running queries.(i) must produce the same key *)
       let queries = Array.init 10 query_of_int in
       Array.iter (fun q -> ignore (Solver.is_sat q)) queries;
-      let entries, evictions = Solver.cache_stats () in
-      Alcotest.(check int) "entries bounded by the cap" 3 entries;
-      Alcotest.(check int) "evictions counted" 7 evictions;
+      let cs = Solver.cache_stats () in
+      Alcotest.(check int) "entries bounded by the cap" 3 cs.Solver.cache_entries;
+      Alcotest.(check int) "evictions counted" 7 cs.Solver.cache_eviction_count;
+      Alcotest.(check int)
+        "misses counted for every uncached query" 10 cs.Solver.cache_miss_count;
       Alcotest.(check int)
         "stats expose the evictions" 7
         (Solver.stats ()).Solver.cache_evictions;

@@ -1,0 +1,571 @@
+(* The observability layer: JSON round-trips, domain-safe metric
+   aggregation, the lock-protected JSONL writer under concurrent emission
+   and mid-run interruption, self-time attribution in trace summaries, the
+   Chrome exporter, and the guarantee that tracing never perturbs search
+   results (digest equality on random cases, golden FSP digests). *)
+
+open Achilles_smt
+open Achilles_symvm
+open Achilles_core
+open Achilles_targets
+module Obs = Achilles_obs.Obs
+
+(* --- JSON round-trips --------------------------------------------------------- *)
+
+let tricky_string = "q\"uote \\back\nnew\tline \r \001ctrl caf\xc3\xa9"
+
+let field fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "missing field %S" k)
+
+let check_num fields k expected =
+  match field fields k with
+  | Obs.Json.Num f -> Alcotest.(check (float 0.)) k expected f
+  | _ -> Alcotest.fail (Printf.sprintf "field %S is not a number" k)
+
+let check_str fields k expected =
+  match field fields k with
+  | Obs.Json.Str s -> Alcotest.(check string) k expected s
+  | _ -> Alcotest.fail (Printf.sprintf "field %S is not a string" k)
+
+let test_json_roundtrip () =
+  let ev =
+    {
+      Obs.ev_t = 1.25;
+      ev_tid = 3;
+      ev_kind = "te\"st";
+      ev_name = tricky_string;
+      ev_args =
+        [
+          ("s", Obs.S tricky_string);
+          ("i", Obs.I (-42));
+          ("f", Obs.F 0.015625);
+          ("whole", Obs.F 3.0);
+          ("b", Obs.B true);
+        ];
+    }
+  in
+  match Obs.Json.parse_line (Obs.json_of_event ev) with
+  | Error msg -> Alcotest.fail ("round-trip parse failed: " ^ msg)
+  | Ok fields ->
+      check_num fields "t" 1.25;
+      check_num fields "tid" 3.;
+      check_str fields "kind" "te\"st";
+      check_str fields "name" tricky_string;
+      check_str fields "s" tricky_string;
+      check_num fields "i" (-42.);
+      check_num fields "f" 0.015625;
+      check_num fields "whole" 3.;
+      (match field fields "b" with
+      | Obs.Json.Bool true -> ()
+      | _ -> Alcotest.fail "field b is not true")
+
+let test_json_parse_errors () =
+  let bad s =
+    match Obs.Json.parse_line s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "expected parse error on %S" s)
+  in
+  bad "not json";
+  bad "{\"a\":1} trailing";
+  bad "{\"a\":}";
+  bad "{\"a\":\"unterminated";
+  bad "{\"a\":1,}";
+  (match Obs.Json.parse_line "{}" with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty object should parse to an empty assoc");
+  match Obs.Json.parse_line "{ \"a\" : null , \"b\" : -1.5e2 }" with
+  | Ok [ ("a", Obs.Json.Null); ("b", Obs.Json.Num f) ] ->
+      Alcotest.(check (float 0.)) "number with exponent" (-150.) f
+  | _ -> Alcotest.fail "whitespace/null/exponent object misparsed"
+
+(* --- DLS metrics and cross-domain aggregation --------------------------------- *)
+
+let test_aggregate_across_domains () =
+  Obs.reset_all ();
+  let work () =
+    Obs.span Obs.Negate (fun () -> ());
+    Obs.count ~n:2 "obs.test_counter"
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn work) in
+  Array.iter Domain.join domains;
+  work ();
+  (* the current domain as well *)
+  let snap = Obs.aggregate () in
+  let negate = List.assoc Obs.Negate snap.Obs.phases in
+  Alcotest.(check int) "spans summed over 5 domains" 5 negate.Obs.spans;
+  Alcotest.(check bool) "elapsed non-negative" true (negate.Obs.seconds >= 0.);
+  Alcotest.(check int) "histogram mass equals span count" 5
+    (Array.fold_left ( + ) 0 negate.Obs.histogram);
+  Alcotest.(check (option int)) "counter summed over 5 domains" (Some 10)
+    (List.assoc_opt "obs.test_counter" snap.Obs.counters);
+  Obs.reset_all ();
+  let snap = Obs.aggregate () in
+  let negate = List.assoc Obs.Negate snap.Obs.phases in
+  Alcotest.(check int) "reset zeroes every registered slice" 0 negate.Obs.spans;
+  Alcotest.(check (option int)) "reset clears counters" None
+    (List.assoc_opt "obs.test_counter" snap.Obs.counters)
+
+let test_phase_names_total () =
+  Alcotest.(check int) "eight phases" 8 (List.length Obs.all_phases);
+  List.iter
+    (fun p ->
+      match Obs.phase_of_name (Obs.phase_name p) with
+      | Some p' when p' = p -> ()
+      | _ -> Alcotest.fail ("phase name does not round-trip: " ^ Obs.phase_name p))
+    Obs.all_phases;
+  Alcotest.(check (option reject)) "unknown phase name rejected" None
+    (Obs.phase_of_name "no_such_phase")
+
+(* --- the JSONL writer under concurrency --------------------------------------- *)
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+let check_all_lines_parse path lines =
+  List.iteri
+    (fun i line ->
+      match Obs.Json.parse_line line with
+      | Ok _ -> ()
+      | Error msg ->
+          Alcotest.fail (Printf.sprintf "%s:%d: invalid JSON (%s)" path (i + 1) msg))
+    lines
+
+let test_concurrent_writer () =
+  let file = Filename.temp_file "achilles-obs-conc" ".jsonl" in
+  Obs.Trace.enable file;
+  let per_domain = 50 in
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Obs.emit
+                ~args:[ ("domain", Obs.I d); ("i", Obs.I i); ("s", Obs.S "x\"y\nz") ]
+                ~kind:"test" ~name:"tick" ();
+              Obs.span Obs.Checkpoint_io (fun () -> ())
+            done))
+  in
+  Array.iter Domain.join domains;
+  Obs.Trace.disable ();
+  let lines = read_lines file in
+  (* one tick + span_begin/span_end per iteration, no torn or merged lines *)
+  Alcotest.(check int) "every event is exactly one line" (4 * per_domain * 3)
+    (List.length lines);
+  check_all_lines_parse file lines;
+  let ticks =
+    List.filter
+      (fun l ->
+        match Obs.Json.parse_line l with
+        | Ok fields -> List.assoc_opt "kind" fields = Some (Obs.Json.Str "test")
+        | Error _ -> false)
+      lines
+  in
+  Alcotest.(check int) "all ticks accounted" (4 * per_domain) (List.length ticks);
+  Sys.remove file
+
+(* --- random client/server pairs (same harness as the robustness suite) --------- *)
+
+let message_size = 3
+let layout = Layout.make ~name:"obs" [ ("tag", 1); ("a", 1); ("b", 1) ]
+
+type tree =
+  | Leaf of bool
+  | Node of { field : int; op : int; konst : int; t : tree; f : tree }
+
+type field_spec = Fconst of int | Fbounded of int
+
+let tree_gen =
+  QCheck2.Gen.(
+    sized_size (int_range 1 3) @@ fix (fun self depth ->
+        let leaf = map (fun b -> Leaf b) bool in
+        if depth = 0 then leaf
+        else
+          frequency
+            [
+              (1, leaf);
+              ( 3,
+                let* field = int_range 0 (message_size - 1) in
+                let* op = int_range 0 3 in
+                let* konst = int_range 0 7 in
+                let* t = self (depth - 1) in
+                let* f = self (depth - 1) in
+                return (Node { field; op; konst; t; f }) );
+            ]))
+
+let client_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 2)
+      (list_repeat message_size
+         (oneof
+            [
+              map (fun c -> Fconst c) (int_range 0 7);
+              map (fun hi -> Fbounded hi) (int_range 0 7);
+            ])))
+
+let case_gen = QCheck2.Gen.pair tree_gen client_gen
+
+let server_of_tree tree =
+  let open Builder in
+  let labels = ref 0 in
+  let next () =
+    incr labels;
+    string_of_int !labels
+  in
+  let rec block = function
+    | Leaf true -> [ mark_accept ("ok" ^ next ()) ]
+    | Leaf false -> [ mark_reject ("no" ^ next ()) ]
+    | Node { field; op; konst; t; f } ->
+        let byte = load "msg" (i8 field) in
+        let cond =
+          match op with
+          | 0 -> byte =: i8 konst
+          | 1 -> byte <>: i8 konst
+          | 2 -> byte <: i8 konst
+          | _ -> byte >: i8 konst
+        in
+        [ if_ cond (block t) (block f) ]
+  in
+  prog "obs-server"
+    ~buffers:[ ("msg", message_size) ]
+    (receive "msg" :: block tree)
+
+let client_of_spec idx spec =
+  let open Builder in
+  let body =
+    List.concat
+      (List.mapi
+         (fun i fs ->
+           match fs with
+           | Fconst c -> [ store "msg" (i8 i) (i8 c) ]
+           | Fbounded hi ->
+               let name = Printf.sprintf "oin%d_%d" idx i in
+               [
+                 read_input name ~width:8;
+                 when_ (v name >: i8 hi) [ halt ];
+                 store "msg" (i8 i) (v name);
+               ])
+         spec)
+    @ [ send (i8 0) "msg" ]
+  in
+  prog
+    (Printf.sprintf "obs-client%d" idx)
+    ~buffers:[ ("msg", message_size) ]
+    body
+
+let extract_case (tree, client_specs) =
+  let server = server_of_tree tree in
+  let clients = List.mapi client_of_spec client_specs in
+  Solver.reset_all_for_tests ();
+  Term.reset_fresh_counter ();
+  let client, _ = Client_extract.extract ~layout clients in
+  (client, server, Term.fresh_counter_value ())
+
+let run_case ?(config = Search.default_config) ~base client server =
+  Solver.reset_all_for_tests ();
+  Term.set_fresh_counter base;
+  Search.run ~config ~client ~server ()
+
+let fixed_case =
+  ( Node
+      {
+        field = 0;
+        op = 2;
+        konst = 4;
+        t = Node { field = 1; op = 0; konst = 2; t = Leaf true; f = Leaf false };
+        f = Leaf true;
+      },
+    [ [ Fbounded 5; Fconst 2; Fbounded 3 ]; [ Fconst 1; Fbounded 6; Fconst 0 ] ]
+  )
+
+(* --- a cancelled run still leaves a flushed, parseable trace ------------------- *)
+
+let test_interrupted_trace_parseable () =
+  let client, server, base = extract_case fixed_case in
+  let file = Filename.temp_file "achilles-obs-cancel" ".jsonl" in
+  Obs.Trace.enable file;
+  let calls = Atomic.make 0 in
+  let config =
+    {
+      Search.default_config with
+      Search.domains = 4;
+      (* trips partway through the run, like a SIGINT/SIGTERM would: the
+         flag is polled at every branch constraint and shard boundary *)
+      Search.cancel = (fun () -> Atomic.fetch_and_add calls 1 >= 10);
+    }
+  in
+  let partial = run_case ~config ~base client server in
+  Alcotest.(check bool) "interruption reported" true
+    partial.Search.coverage.Search.interrupted;
+  (* read the file BEFORE disable: the per-line flush must already have
+     left only whole lines behind, as a process kill would find them *)
+  let lines = read_lines file in
+  Alcotest.(check bool) "interrupted trace is non-empty" true (lines <> []);
+  check_all_lines_parse file lines;
+  Obs.Trace.disable ();
+  (match Obs.Summary.load file with
+  | Error msg -> Alcotest.fail ("summarize failed on interrupted trace: " ^ msg)
+  | Ok s ->
+      Alcotest.(check int) "summary saw every flushed line" (List.length lines)
+        s.Obs.Summary.events;
+      Alcotest.(check bool) "attribution is a fraction" true
+        (s.Obs.Summary.attributed >= 0. && s.Obs.Summary.attributed <= 1.));
+  Sys.remove file
+
+(* --- self-time attribution on a hand-written trace ----------------------------- *)
+
+let evt ?(args = []) t tid kind name =
+  [
+    ("t", Obs.Json.Num t);
+    ("tid", Obs.Json.Num (float_of_int tid));
+    ("kind", Obs.Json.Str kind);
+    ("name", Obs.Json.Str name);
+  ]
+  @ args
+
+let row_of s name =
+  match
+    List.find_opt
+      (fun r -> r.Obs.Summary.row_phase = name)
+      s.Obs.Summary.rows
+  with
+  | Some r -> r
+  | None -> Alcotest.fail ("summary has no row for " ^ name)
+
+let test_summary_self_time () =
+  let events =
+    [
+      evt 0. 0 "span_begin" "server_se";
+      evt 2. 0 "span_begin" "solver_query";
+      evt 1. 1 "span_begin" "negate" (* left open: the run was killed *);
+      evt 5. 0 "span_end" "solver_query" ~args:[ ("dur", Obs.Json.Num 3.) ];
+      evt 6. 0 "counter" "foo" ~args:[ ("n", Obs.Json.Num 4.) ];
+      evt 7. 0 "solver" "verdict" ~args:[ ("result", Obs.Json.Str "sat") ];
+      evt 7.5 0 "cache" "hit";
+      evt 7.6 0 "cache" "miss";
+      evt 10. 0 "span_end" "server_se" (* no dur: derived from t - start *);
+    ]
+  in
+  let s = Obs.Summary.of_events events in
+  Alcotest.(check (float 1e-9)) "wall clock spans the event range" 10. s.Obs.Summary.wall;
+  let server = row_of s "server_se" in
+  Alcotest.(check (float 1e-9)) "server_se total" 10. server.Obs.Summary.total_seconds;
+  Alcotest.(check (float 1e-9)) "server_se self excludes its child" 7.
+    server.Obs.Summary.self_seconds;
+  Alcotest.(check (float 1e-9)) "server_se max" 10. server.Obs.Summary.max_seconds;
+  let solver = row_of s "solver_query" in
+  Alcotest.(check (float 1e-9)) "solver_query self = dur (leaf span)" 3.
+    solver.Obs.Summary.self_seconds;
+  Alcotest.(check int) "solver_query span count" 1 solver.Obs.Summary.row_spans;
+  (* the unclosed span on tid 1 is closed at the last timestamp *)
+  let negate = row_of s "negate" in
+  Alcotest.(check (float 1e-9)) "unclosed span closed at max t" 9.
+    negate.Obs.Summary.total_seconds;
+  (* tid 0 emitted first, so it is the main domain: its root span covers
+     the whole window, and tid 1's orphan does not inflate coverage *)
+  Alcotest.(check (float 1e-9)) "fully attributed" 1. s.Obs.Summary.attributed;
+  Alcotest.(check (option int)) "counter event tallied" (Some 4)
+    (List.assoc_opt "foo" s.Obs.Summary.counters);
+  Alcotest.(check (option int)) "verdict tallied" (Some 1)
+    (List.assoc_opt "sat" s.Obs.Summary.verdicts);
+  Alcotest.(check int) "cache hit" 1 s.Obs.Summary.cache_hits;
+  Alcotest.(check int) "cache miss" 1 s.Obs.Summary.cache_misses;
+  Alcotest.(check int) "event count" 9 s.Obs.Summary.events
+
+(* --- Chrome export ------------------------------------------------------------- *)
+
+let test_chrome_export () =
+  let src = Filename.temp_file "achilles-obs-chrome" ".jsonl" in
+  let dst = src ^ ".chrome.json" in
+  let oc = open_out src in
+  List.iter
+    (fun ev -> output_string oc (Obs.json_of_event ev ^ "\n"))
+    [
+      {
+        Obs.ev_t = 0.001;
+        ev_tid = 0;
+        ev_kind = "span_begin";
+        ev_name = "solver_query";
+        ev_args = [];
+      };
+      {
+        Obs.ev_t = 0.004;
+        ev_tid = 0;
+        ev_kind = "span_end";
+        ev_name = "solver_query";
+        ev_args = [ ("dur", Obs.F 0.003) ];
+      };
+      {
+        Obs.ev_t = 0.005;
+        ev_tid = 1;
+        ev_kind = "drop";
+        ev_name = "subsumed";
+        ev_args = [ ("route", Obs.S "r\"1") ];
+      };
+    ];
+  close_out oc;
+  (match Obs.Chrome.export ~src ~dst with
+  | Error msg -> Alcotest.fail ("export failed: " ^ msg)
+  | Ok () -> ());
+  let ic = open_in_bin dst in
+  let out = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let contains needle =
+    let nl = String.length needle and l = String.length out in
+    let rec go i = i + nl <= l && (String.sub out i nl = needle || go (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "output contains %s" needle) true (go 0)
+  in
+  Alcotest.(check bool) "traceEvents wrapper" true
+    (String.length out > 16 && String.sub out 0 16 = "{\"traceEvents\":[");
+  contains "\"ph\":\"B\"";
+  contains "\"ph\":\"E\"";
+  contains "\"ph\":\"i\"";
+  contains "\"s\":\"t\"";
+  (* µs timestamps *)
+  contains "\"ts\":1000.000";
+  contains "\"ts\":4000.000";
+  (* args carried over, with JSON escapes intact *)
+  contains "\"route\":\"r\\\"1\"";
+  contains "\"name\":\"drop:subsumed\"";
+  Sys.remove src;
+  Sys.remove dst
+
+(* --- tracing must never change search results ---------------------------------- *)
+
+let qcheck_trace_invisible =
+  QCheck2.Test.make
+    ~name:"trace on/off and domains 1/4 all agree on report digests" ~count:10
+    case_gen
+    (fun case ->
+      let client, server, base = extract_case case in
+      let digest ~domains ~traced =
+        let config = { Search.default_config with Search.domains } in
+        if not traced then
+          Report.report_digest (run_case ~config ~base client server)
+        else begin
+          let file = Filename.temp_file "achilles-obs-q" ".jsonl" in
+          Obs.Trace.enable file;
+          Fun.protect
+            ~finally:(fun () ->
+              Obs.Trace.disable ();
+              Sys.remove file)
+            (fun () ->
+              Report.report_digest (run_case ~config ~base client server))
+        end
+      in
+      let d = digest ~domains:1 ~traced:false in
+      d = digest ~domains:1 ~traced:true
+      && d = digest ~domains:4 ~traced:false
+      && d = digest ~domains:4 ~traced:true)
+
+(* The pinned seed digests from test_integration: the instrumented search,
+   traced or not, must still reproduce them byte for byte. *)
+let golden_fig10_digest = "075ddf0b4c175bc33c01d12bc70ab018"
+let golden_fig11_digest = "0f7bc3f897fc2fdb28e2d2e7bf624c9c"
+
+let test_fsp_golden_traced () =
+  let run domains =
+    Solver.reset_all_for_tests ();
+    Term.reset_fresh_counter ();
+    let file = Filename.temp_file "achilles-obs-fsp" ".jsonl" in
+    Obs.Trace.enable file;
+    let analysis =
+      Fun.protect
+        ~finally:(fun () -> Obs.Trace.disable ())
+        (fun () ->
+          let config =
+            {
+              Search.default_config with
+              Search.mask = Some Fsp_model.analysis_mask;
+              Search.witnesses_per_path = 16;
+              Search.distinct_by = Some Fsp_model.block_class;
+              Search.domains;
+            }
+          in
+          Achilles.analyze ~search_config:config ~layout:Fsp_model.layout
+            ~clients:(Fsp_model.clients ()) ~server:Fsp_model.server ())
+    in
+    (analysis, file)
+  in
+  let a1, f1 = run 1 in
+  let a4, f4 = run 4 in
+  let report (a : Achilles.analysis) = a.Achilles.report in
+  Alcotest.(check string) "Fig 10 golden, traced, domains 1" golden_fig10_digest
+    (Report.discovery_digest (report a1));
+  Alcotest.(check string) "Fig 10 golden, traced, domains 4" golden_fig10_digest
+    (Report.discovery_digest (report a4));
+  Alcotest.(check string) "Fig 11 golden, traced, domains 1" golden_fig11_digest
+    (Report.alive_digest (report a1).Search.search_stats);
+  Alcotest.(check string) "Fig 11 golden, traced, domains 4" golden_fig11_digest
+    (Report.alive_digest (report a4).Search.search_stats);
+  Alcotest.(check string) "full reports agree across domains"
+    (Report.report_digest (report a1))
+    (Report.report_digest (report a4));
+  (* the acceptance bar: summarize attributes >= 95% of wall-clock to the
+     named phases on an FSP run *)
+  List.iter
+    (fun file ->
+      match Obs.Summary.load file with
+      | Error msg -> Alcotest.fail ("summarize failed: " ^ msg)
+      | Ok s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "attribution >= 95%% (%s: %.1f%%)" file
+               (100. *. s.Obs.Summary.attributed))
+            true
+            (s.Obs.Summary.attributed >= 0.95);
+          List.iter
+            (fun phase ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s has a row in %s" phase file)
+                true
+                (List.exists
+                   (fun r -> r.Obs.Summary.row_phase = phase)
+                   s.Obs.Summary.rows))
+            [ "client_se"; "server_se"; "solver_query" ];
+          Sys.remove file)
+    [ f1; f4 ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "event round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parser rejects malformed lines" `Quick
+            test_json_parse_errors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "aggregate across domains" `Quick
+            test_aggregate_across_domains;
+          Alcotest.test_case "phase taxonomy round-trips" `Quick
+            test_phase_names_total;
+        ] );
+      ( "trace-writer",
+        [
+          Alcotest.test_case "concurrent emission stays line-atomic" `Quick
+            test_concurrent_writer;
+          Alcotest.test_case "cancelled run leaves a parseable trace" `Quick
+            test_interrupted_trace_parseable;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "self-time attribution" `Quick
+            test_summary_self_time;
+          Alcotest.test_case "chrome export" `Quick test_chrome_export;
+        ] );
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest ~verbose:false qcheck_trace_invisible;
+          Alcotest.test_case "FSP golden digests with tracing on" `Slow
+            test_fsp_golden_traced;
+        ] );
+    ]
