@@ -938,6 +938,146 @@ let experiment_profile () =
     exit 1
   end
 
+(* --- E15: incremental vs scratch solving ----------------------------------------- *)
+
+let experiment_incremental () =
+  banner
+    "E15: assumption-based incremental solving — frame stack vs scratch \
+     queries";
+  (* One measurement = one traced FSP analysis from an identical starting
+     state, with incremental solving on or off, at a given domain count.
+     The digest must be byte-identical across all four combinations: the
+     frame contexts serve verdict-only queries, witness extraction stays on
+     the scratch path, and complete solvers agree on verdicts. *)
+  let measure ~incremental ~domains =
+    Solver.reset_all_for_tests ();
+    Term.set_fresh_counter 0;
+    Solver.set_incremental incremental;
+    let file = Filename.temp_file "achilles-incremental-" ".jsonl" in
+    Obs.Trace.enable file;
+    let t0 = Unix.gettimeofday () in
+    let analysis =
+      Achilles.analyze
+        ~search_config:{ fsp_search_config with Search.domains }
+        ~layout:Fsp_model.layout ~clients:(Fsp_model.clients ())
+        ~server:Fsp_model.server ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Obs.Trace.disable ();
+    let summary =
+      match Obs.Summary.load file with
+      | Ok s -> s
+      | Error e ->
+          Format.printf "  incremental: trace unreadable: %s@." e;
+          exit 1
+    in
+    Sys.remove file;
+    let self phase =
+      match
+        List.find_opt
+          (fun r -> r.Obs.Summary.row_phase = phase)
+          summary.Obs.Summary.rows
+      with
+      | Some r -> r.Obs.Summary.self_seconds
+      | None -> 0.
+    in
+    let agg = Solver.aggregate_stats () in
+    let _, blast_misses = Bitblast.aggregate_memo_stats () in
+    let digest = Report.report_digest analysis.Achilles.report in
+    ( digest,
+      [
+        ("wall_s", Printf.sprintf "%.4f" wall);
+        ("solve_s", Printf.sprintf "%.4f" agg.Solver.solve_time);
+        ("solver_query_self_s", Printf.sprintf "%.4f" (self "solver_query"));
+        ("bitblast_self_s", Printf.sprintf "%.4f" (self "bitblast"));
+        ("queries", string_of_int agg.Solver.queries);
+        ("sat_calls", string_of_int agg.Solver.sat_calls);
+        ("incremental_checks", string_of_int agg.Solver.incremental_checks);
+        ("bitblast_memo_misses", string_of_int blast_misses);
+        ("learnts_retained", string_of_int agg.Solver.learnts_retained);
+        ("frame_pushes", string_of_int agg.Solver.frame_pushes);
+        ("frame_pops", string_of_int agg.Solver.frame_pops);
+        ("context_resets", string_of_int agg.Solver.context_resets);
+        ("digest", digest);
+      ] )
+  in
+  let domain_counts = [ 1; 4 ] in
+  let rows = ref [] in
+  let failed = ref false in
+  let get k row = List.assoc k row in
+  Fun.protect
+    ~finally:(fun () -> Solver.set_incremental true)
+    (fun () ->
+      List.iter
+        (fun domains ->
+          let digest_on, on = measure ~incremental:true ~domains in
+          let digest_off, off = measure ~incremental:false ~domains in
+          if digest_on <> digest_off then begin
+            Format.eprintf
+              "incremental: FSP report digest differs between modes at %d \
+               domain(s) (%s vs %s)@."
+              domains digest_on digest_off;
+            failed := true
+          end;
+          Format.printf
+            "  fsp j=%d incremental=on  wall %ss, solver_query self %ss, \
+             bitblast self %ss, %s sat calls, %s blast misses, %s learnts \
+             retained@."
+            domains (get "wall_s" on)
+            (get "solver_query_self_s" on)
+            (get "bitblast_self_s" on) (get "sat_calls" on)
+            (get "bitblast_memo_misses" on)
+            (get "learnts_retained" on);
+          Format.printf
+            "  fsp j=%d incremental=off wall %ss, solver_query self %ss, \
+             bitblast self %ss, %s sat calls, %s blast misses@."
+            domains (get "wall_s" off)
+            (get "solver_query_self_s" off)
+            (get "bitblast_self_s" off) (get "sat_calls" off)
+            (get "bitblast_memo_misses" off);
+          (* Wall-clock is noisy under CI; the deterministic proxy for the
+             avoided work is CNF translation: scratch mode re-bitblasts the
+             whole conjunction on every non-cached query, the frame context
+             translates each distinct term once. *)
+          let misses_on = int_of_string (get "bitblast_memo_misses" on) in
+          let misses_off = int_of_string (get "bitblast_memo_misses" off) in
+          let q_on = float_of_string (get "solver_query_self_s" on) in
+          let q_off = float_of_string (get "solver_query_self_s" off) in
+          Format.printf
+            "  fsp j=%d translation work: %d -> %d memo misses (%.1fx \
+             reduction); solver_query self-time: %.4fs -> %.4fs (%.2fx); \
+             digests identical: %b@."
+            domains misses_off misses_on
+            (float_of_int misses_off /. float_of_int (max 1 misses_on))
+            q_off q_on
+            (q_off /. Float.max q_on 1e-9)
+            (digest_on = digest_off);
+          if domains = 1 && misses_on >= misses_off then begin
+            Format.eprintf
+              "incremental: expected a translation-work reduction on FSP, \
+               got %d (on) vs %d (off) bitblast memo misses@."
+              misses_on misses_off;
+            failed := true
+          end;
+          let csv mode row =
+            Printf.sprintf "fsp,%d,%s,%s" domains mode
+              (String.concat "," (List.map snd row))
+          in
+          rows := csv "off" off :: csv "on" on :: !rows)
+        domain_counts);
+  (* always persist the series, like the other figure experiments *)
+  let saved = !csv_dir in
+  if saved = None then begin
+    (try Unix.mkdir "bench" 0o755
+     with Unix.Unix_error ((Unix.EEXIST | Unix.EPERM), _, _) -> ());
+    csv_dir := Some (Filename.concat "bench" "figures")
+  end;
+  write_csv "incremental.csv"
+    "target,domains,incremental,wall_s,solve_s,solver_query_self_s,bitblast_self_s,queries,sat_calls,incremental_checks,bitblast_memo_misses,learnts_retained,frame_pushes,frame_pops,context_resets,digest"
+    (List.rev !rows);
+  csv_dir := saved;
+  if !failed then exit 1
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------------------ *)
 
 let bechamel_benchmarks () =
@@ -1075,6 +1215,7 @@ let experiments =
     ("robustness", experiment_robustness);
     ("sharing", experiment_sharing);
     ("profile", experiment_profile);
+    ("incremental", experiment_incremental);
   ]
 
 let () =

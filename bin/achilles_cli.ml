@@ -119,6 +119,16 @@ let no_prune_arg =
   let doc = "Disable no-Trojan state pruning." in
   Arg.(value & flag & info [ "no-prune" ] ~doc)
 
+let no_incremental_arg =
+  let doc =
+    "Disable assumption-based incremental solving: every solver query is \
+     decided on a fresh scratch SAT instance instead of the per-domain \
+     frame-stack context (also: $(b,ACHILLES_INCREMENTAL=0)). Reports are \
+     byte-identical in both modes; this is the escape hatch and the \
+     baseline for $(b,--experiment incremental)."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
 let domains_arg =
   let doc =
     "Worker domains for the server-path search (default: \
@@ -244,13 +254,14 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the bundled target systems")
     Term.(const run $ const ())
 
-let analyze name mask witnesses no_drop no_df no_prune verbose explain domains
-    deadline solver_budget checkpoint_dir resume trace =
+let analyze name mask witnesses no_drop no_df no_prune no_incremental verbose
+    explain domains deadline solver_budget checkpoint_dir resume trace =
   match find_target name with
   | Error e ->
       Format.eprintf "%s@." e;
       1
   | Ok target ->
+      if no_incremental then Solver.set_incremental false;
       install_signal_handlers ();
       setup_trace trace;
       if verbose then install_verbose_sink ();
@@ -344,9 +355,9 @@ let analyze_cmd =
          ])
     Term.(
       const analyze $ target_arg $ mask_arg $ witnesses_arg $ no_drop_arg
-      $ no_df_arg $ no_prune_arg $ verbose_arg $ explain_arg $ domains_arg
-      $ deadline_arg $ solver_budget_arg $ checkpoint_dir_arg $ resume_arg
-      $ trace_arg)
+      $ no_df_arg $ no_prune_arg $ no_incremental_arg $ verbose_arg
+      $ explain_arg $ domains_arg $ deadline_arg $ solver_budget_arg
+      $ checkpoint_dir_arg $ resume_arg $ trace_arg)
 
 let predicate name =
   match find_target name with

@@ -30,7 +30,9 @@ let check_pair ~layout field_name (pi : Predicate.client_path)
       let constraints_i =
         Negate.related_constraints pi (Term.var_ids value_i)
       in
-      Solver.is_sat (Term.eq x value_i :: negation :: constraints_i)
+      (* verdict-only: rides the per-domain incremental context so the
+         O(paths^2 x fields) matrix reuses translations across probes *)
+      Solver.is_sat_assuming (Term.eq x value_i :: negation :: constraints_i)
 
 (* Number of fresh variables [check_pair ~layout field_name _ pj] allocates:
    the probe [x], plus — when [negate_field] reaches its renaming case —

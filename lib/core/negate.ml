@@ -63,7 +63,10 @@ let negate_path ?(check_overlap = true) ?mask ~layout ~server_vars
         | Some disjunct ->
             if
               check_overlap
-              && Solver.is_sat (disjunct :: Lazy.force binding)
+              (* verdict-only, so the overlap probe shares the per-domain
+                 incremental context (and its bitblasted binding) across
+                 all fields and paths; scratch when incrementality is off *)
+              && Solver.is_sat_assuming (disjunct :: Lazy.force binding)
             then None (* a message satisfies both: discard to avoid FPs *)
             else Some disjunct)
       fields

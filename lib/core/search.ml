@@ -323,7 +323,13 @@ let session_for ctx idx =
    spurious Trojans. Degrading towards "alive" is the sound direction. *)
 let binding_check ctx idx (st : State.t) =
   let r =
-    if ctx.cfg.incremental_bindings then
+    if Solver.incremental_enabled () then
+      (* the per-domain frame context: the path prefix is asserted once and
+         shared with the prune query, the interpreter's feasibility checks
+         and every other client's binding check at this state; only the
+         binding terms ride as per-call assumptions *)
+      Solver.check_assuming ~path:st.State.path (binding_for ctx idx)
+    else if ctx.cfg.incremental_bindings then
       Solver.Incremental.check (session_for ctx idx) st.State.path
     else Solver.check (List.rev_append st.State.path (binding_for ctx idx))
   in
@@ -331,6 +337,21 @@ let binding_check ctx idx (st : State.t) =
   | Solver.Unsat -> `Incompatible
   | Solver.Sat _ -> `Compatible
   | Solver.Unknown -> `Unknown
+
+(* Explanation for the drop just reported by [binding_check]: the server
+   constraints in the unsat core. With the shared frame context the core
+   may also name binding terms; those are filtered out so the explanation
+   keeps its historical meaning. *)
+let drop_core ctx idx (st : State.t) =
+  if Solver.incremental_enabled () then
+    match Solver.last_assumption_core () with
+    | None -> None
+    | Some core ->
+        Some
+          (List.filter
+             (fun t -> List.exists (Term.equal t) st.State.path)
+             core)
+  else Solver.Incremental.unsat_core (session_for ctx idx)
 
 let alive_for ctx (st : State.t) =
   match Hashtbl.find_opt ctx.alive st.State.id with
@@ -422,9 +443,10 @@ let on_constraint ctx (st : State.t) cond =
                 | `Incompatible ->
                   if
                     recording && ctx.cfg.explain_drops
-                    && ctx.cfg.incremental_bindings
+                    && (ctx.cfg.incremental_bindings
+                       || Solver.incremental_enabled ())
                   then begin
-                    match Solver.Incremental.unsat_core (session_for ctx i) with
+                    match drop_core ctx i st with
                     | Some conflicting -> (
                         let plen = List.length st.State.path in
                         match ctx.recorder with
@@ -473,8 +495,16 @@ let on_constraint ctx (st : State.t) cond =
         &&
         (* dedup the sibling constraints (shared client negations reappear
            across alive sets) before the query; the reported term lists are
-           left verbatim *)
-        match Solver.check (Term.dedup (trojan_query ctx st alive)) with
+           left verbatim. Verdict-only, so with incrementality on it rides
+           the frame context whose stack already holds this state's path;
+           witness extraction below stays on the scratch path (models from
+           a persistent instance would perturb report digests). *)
+        match
+          (if Solver.incremental_enabled () then
+             Solver.check_assuming ~path:st.State.path
+               (List.map (negation_for ctx) alive)
+           else Solver.check (Term.dedup (trojan_query ctx st alive)))
+        with
         | Solver.Unsat -> true
         | Solver.Sat _ -> false
         | Solver.Unknown ->

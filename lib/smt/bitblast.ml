@@ -4,14 +4,22 @@ type t = {
   sat : Sat.t;
   cache : repr Term.Tbl.t;
   term_vars : (int, Term.var * repr) Hashtbl.t; (* term var id -> bits *)
+  ranges : (int * int) Term.Tbl.t;
+  (* per translated term, the SAT variables allocated by its own (cache-miss)
+     translation as the half-open range (lo, hi] — shared subterms hit the
+     cache and record their vars under their own entry *)
+  cone_cache : int array Term.Tbl.t;
+  (* memoized full translation cones of top-level (asserted/guarded) terms *)
   true_lit : int;
   mutable n_clauses : int;
   mutable n_aux : int;
 }
 
-(* Per-domain memo counters, aggregated across contexts: each solver query
-   builds a fresh context (model determinism forbids reusing CNF between
-   queries), so per-context hit counts would vanish with the context. *)
+(* Per-domain memo counters, aggregated across contexts: scratch solver
+   queries build a fresh context each (model determinism forbids reusing CNF
+   between model-extracting queries), so per-context hit counts would vanish
+   with the context. Long-lived incremental contexts accumulate into the
+   same per-domain counters. *)
 type memo_state = { mutable m_hits : int; mutable m_misses : int }
 
 let memo_registry : memo_state list ref = ref []
@@ -48,6 +56,7 @@ let reset_memo_stats () =
 let sat t = t.sat
 let clauses_added t = t.n_clauses
 let aux_vars t = t.n_aux
+let cached_terms t = Term.Tbl.length t.cache
 
 let clause t lits =
   t.n_clauses <- t.n_clauses + 1;
@@ -63,6 +72,8 @@ let create sat =
       sat;
       cache = Term.Tbl.create 256;
       term_vars = Hashtbl.create 64;
+      ranges = Term.Tbl.create 256;
+      cone_cache = Term.Tbl.create 64;
       true_lit = 0;
       n_clauses = 0;
       n_aux = 0;
@@ -247,7 +258,9 @@ let rec translate t (term : Term.t) : repr =
       r
   | None ->
       ms.m_misses <- ms.m_misses + 1;
+      let lo = Sat.num_vars t.sat in
       let r = translate_uncached t term in
+      Term.Tbl.replace t.ranges term (lo, Sat.num_vars t.sat);
       Term.Tbl.replace t.cache term r;
       r
 
@@ -314,6 +327,107 @@ and translate_uncached t (term : Term.t) : repr =
   | Extract (hi, lo, a) -> Rvec (Array.sub (bvec t a) lo (hi - lo + 1))
 
 let lit_of t term = blit t term
+
+(* --- translation cones ----------------------------------------------------- *)
+
+let children (term : Term.t) =
+  match term.Term.node with
+  | Term.True | Term.False | Term.Const _ | Term.Var _ -> []
+  | Term.Not a | Term.Bnot a | Term.Extract (_, _, a) -> [ a ]
+  | Term.And (a, b)
+  | Term.Or (a, b)
+  | Term.Eq (a, b)
+  | Term.Ult (a, b)
+  | Term.Slt (a, b)
+  | Term.Ule (a, b)
+  | Term.Sle (a, b)
+  | Term.Add (a, b)
+  | Term.Sub (a, b)
+  | Term.Mul (a, b)
+  | Term.Udiv (a, b)
+  | Term.Urem (a, b)
+  | Term.Band (a, b)
+  | Term.Bor (a, b)
+  | Term.Bxor (a, b)
+  | Term.Shl (a, b)
+  | Term.Lshr (a, b)
+  | Term.Ashr (a, b)
+  | Term.Concat (a, b) -> [ a; b ]
+  | Term.Ite (c, a, b) -> [ c; a; b ]
+
+(* All SAT variables in [term]'s translation: the union of the own-range of
+   every node in its DAG. A node translated as a cache hit inside some other
+   term's translation still has its own range entry from that first
+   translation, so the union is exactly the variables the term's CNF
+   mentions. Ranges nest (a parent's range spans its freshly-translated
+   children), hence the sort-and-merge. Memoized per term; sound only after
+   the term has been fully translated in this context. *)
+let cone_of t term =
+  match Term.Tbl.find_opt t.cone_cache term with
+  | Some a -> a
+  | None ->
+      let visited = Term.Tbl.create 64 in
+      let spans = ref [] in
+      let rec walk tm =
+        if not (Term.Tbl.mem visited tm) then begin
+          Term.Tbl.replace visited tm ();
+          (match Term.Tbl.find_opt t.ranges tm with
+          | Some (lo, hi) when hi > lo -> spans := (lo, hi) :: !spans
+          | _ -> ());
+          List.iter walk (children tm)
+        end
+      in
+      walk term;
+      let spans =
+        List.sort (fun (a, _) (b, _) -> compare a b) !spans
+      in
+      let merged =
+        List.fold_left
+          (fun acc (lo, hi) ->
+            match acc with
+            | (plo, phi) :: rest when lo <= phi ->
+                (plo, max phi hi) :: rest
+            | _ -> (lo, hi) :: acc)
+          [] spans
+      in
+      let merged = List.rev merged (* ascending: allocation order *) in
+      let n = List.fold_left (fun n (lo, hi) -> n + hi - lo) 0 merged in
+      let arr = Array.make n 0 in
+      let i = ref 0 in
+      List.iter
+        (fun (lo, hi) ->
+          for v = lo + 1 to hi do
+            arr.(!i) <- v;
+            incr i
+          done)
+        merged;
+      Term.Tbl.replace t.cone_cache term arr;
+      arr
+
+let cone_vars t terms =
+  let mark = Bytes.make (Sat.num_vars t.sat + 1) '\000' in
+  let buf = ref (Array.make 256 0) in
+  let n = ref 0 in
+  let push v =
+    if !n = Array.length !buf then begin
+      let b = Array.make (2 * !n) 0 in
+      Array.blit !buf 0 b 0 !n;
+      buf := b
+    end;
+    !buf.(!n) <- v;
+    incr n
+  in
+  List.iter
+    (fun tm ->
+      Array.iter
+        (fun v ->
+          if Bytes.get mark v = '\000' then begin
+            Bytes.set mark v '\001';
+            push v
+          end)
+        (cone_of t tm))
+    terms;
+  Array.sub !buf 0 !n
 
 let assert_true t term =
   match term.Term.node with

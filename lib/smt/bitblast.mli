@@ -26,6 +26,18 @@ val extract_model : t -> Model.t
 val clauses_added : t -> int
 val aux_vars : t -> int
 
+val cached_terms : t -> int
+(** Distinct terms translated so far in this context — the reuse a
+    long-lived (incremental) context has accumulated. *)
+
+val cone_vars : t -> Term.t list -> int array
+(** The SAT variables mentioned by the translations of the given terms
+    (each variable once, in no particular order). Every term must already
+    have been translated in this context ({!lit_of}/{!assert_true});
+    untranslated subterms are silently absent. A long-lived context passes
+    this as [Sat.solve]'s [decide_vars] so a query only decides its own
+    cone instead of everything the context has accumulated. *)
+
 (** {1 Memo statistics}
 
     Translation-cache hits and misses, accumulated per domain across every

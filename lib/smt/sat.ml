@@ -430,6 +430,25 @@ let pick_branch_var s =
   in
   go ()
 
+(* Restricted decision order: an ordered array of candidate vars and a
+   monotone scan pointer. The pointer only ever moves right between
+   conflicts; a backtrack unassigns variables to its left, so conflicts (and
+   fresh [search] calls after a restart) reset it to 0. Returns 0 when every
+   candidate is assigned. *)
+let pick_branch_restricted s (arr : int array) ptr =
+  let n = Array.length arr in
+  let rec go i =
+    if i >= n then 0
+    else
+      let v = arr.(i) in
+      if s.assigns.(v) = -1 then begin
+        ptr := i;
+        v
+      end
+      else go (i + 1)
+  in
+  go !ptr
+
 let luby y x =
   (* Finite subsequences of the Luby sequence *)
   let rec find_size size seq =
@@ -481,8 +500,9 @@ type result = Sat | Unsat
    itself may still be satisfiable). *)
 exception Assumption_conflict
 
-let search s ~assumptions ~max_conflicts =
+let search s ~assumptions ~order ~max_conflicts =
   let conflicts = ref 0 in
+  (match order with Some (_, ptr) -> ptr := 0 | None -> ());
   let rec loop () =
     match propagate s with
     | Some confl ->
@@ -501,6 +521,7 @@ let search s ~assumptions ~max_conflicts =
         else begin
           let learnt_lits, back_level = analyze s confl in
           cancel_until s back_level;
+          (match order with Some (_, ptr) -> ptr := 0 | None -> ());
           (match learnt_lits with
           | [ l ] -> enqueue s l None
           | l :: _ ->
@@ -546,7 +567,11 @@ let search s ~assumptions ~max_conflicts =
           loop ()
     end
     else begin
-      let v = pick_branch_var s in
+      let v =
+        match order with
+        | None -> pick_branch_var s
+        | Some (arr, ptr) -> pick_branch_restricted s arr ptr
+      in
       if v = 0 then Some Sat
       else begin
         s.n_decisions <- s.n_decisions + 1;
@@ -559,12 +584,28 @@ let search s ~assumptions ~max_conflicts =
   in
   loop ()
 
-let solve ?conflict_limit ?deadline ?(assumptions = []) s =
+let solve ?conflict_limit ?deadline ?(assumptions = []) ?decide_vars s =
   cancel_until s 0;
   s.last_core <- [];
   if not s.ok then Some Unsat
   else begin
     let assumptions = Array.of_list (List.map (lit_of_dimacs s) assumptions) in
+    let order =
+      match decide_vars with
+      | None -> None
+      | Some vars ->
+          Array.iter
+            (fun v ->
+              if v < 1 || v > s.nvars then
+                invalid_arg "Sat.solve: decide variable out of range")
+            vars;
+          (* the first restart segment decides in the order given — for
+             circuit CNF, allocation order is roughly topological (inputs
+             first, outputs propagated), and easy queries never pay for a
+             sort — later segments re-sort by activity (below), giving
+             conflict-heavy queries a periodically-refreshed VSIDS order *)
+          Some (vars, ref 0)
+    in
     s.max_learnts <- max 1000. (float_of_int (Vec.size s.clauses) /. 3.);
     let budget_left =
       ref (match conflict_limit with None -> max_int | Some n -> n)
@@ -577,9 +618,17 @@ let solve ?conflict_limit ?deadline ?(assumptions = []) s =
     let rec restart_loop i =
       if !budget_left <= 0 || past_deadline () then None
       else begin
+        (match order with
+        | Some (arr, _) when i > 0 ->
+            (* the query survived a whole restart segment: refresh the static
+               decision order from the activities the conflicts built up *)
+            Array.sort
+              (fun a b -> compare s.activity.(b) s.activity.(a))
+              arr
+        | _ -> ());
         let inner = int_of_float (100. *. luby 2. i) in
         let inner = min inner !budget_left in
-        match search s ~assumptions ~max_conflicts:inner with
+        match search s ~assumptions ~order ~max_conflicts:inner with
         | Some r -> Some r
         | None ->
             budget_left := !budget_left - inner;
@@ -614,3 +663,10 @@ let unsat_core s =
 let conflicts s = s.n_conflicts
 let decisions s = s.n_decisions
 let propagations s = s.n_propagations
+
+(* Learnt clauses currently in the database. Unit learnts are enqueued at
+   level 0 rather than stored, so this undercounts total learning — but it
+   is exactly the number of clauses an incremental caller retains between
+   solves, which is what the clause-retention statistics report. *)
+let num_learnts s = Vec.size s.learnts
+let num_clauses s = Vec.size s.clauses

@@ -32,6 +32,7 @@ val solve :
   ?conflict_limit:int ->
   ?deadline:float ->
   ?assumptions:int list ->
+  ?decide_vars:int array ->
   t ->
   result option
 (** Run the search, optionally under assumption literals that hold for this
@@ -39,7 +40,20 @@ val solve :
     when one is given): either [conflict_limit] conflicts were spent, or the
     wall clock passed [deadline] (an absolute [Unix.gettimeofday] time,
     checked between restarts — the overshoot is bounded by one restart
-    segment, ~100-1000 conflicts). *)
+    segment, ~100-1000 conflicts).
+
+    [decide_vars] restricts decisions to the given variables; the search
+    claims [Sat] once all of them are assigned without conflict, leaving the
+    rest of the instance undecided. This is only sound when every clause not
+    fully covered by [decide_vars] is satisfiable under {e any} assignment
+    of the covered variables — e.g. activation-literal implications (the
+    unassumed activation var can be set false) and definitional circuit
+    clauses of total operators whose inputs either lie in [decide_vars] or
+    are free. The caller is responsible for that closure property; the
+    shared incremental contexts in {!Solver.Frames} maintain it by passing
+    the full bitblast cone of the queried terms. After such a call the
+    assignment is partial, so {!value} must not be used for model
+    extraction. The array may be reordered in place. *)
 
 val value : t -> int -> bool
 (** Value of a variable in the satisfying assignment; only valid after
@@ -53,6 +67,14 @@ val lit_value : t -> int -> bool
 val conflicts : t -> int
 val decisions : t -> int
 val propagations : t -> int
+
+val num_learnts : t -> int
+(** Learnt clauses currently retained in the database (units are absorbed
+    at level 0 and not counted). Across incremental {!solve} calls this is
+    the learning carried from one query, or escalation rung, to the next. *)
+
+val num_clauses : t -> int
+(** Problem (non-learnt) clauses added so far. *)
 
 val unsat_core : t -> int list
 (** After {!solve} returned [Unsat] under assumptions: the subset of the

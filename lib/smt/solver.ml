@@ -15,6 +15,12 @@ type stats = {
   mutable budget_exhaustions : int;
   mutable injected_faults : int;
   mutable cache_evictions : int;
+  mutable incremental_checks : int;
+  mutable frame_pushes : int;
+  mutable frame_pops : int;
+  mutable learnts_retained : int;
+  mutable rung_retained : int;
+  mutable context_resets : int;
   mutable solve_time : float;
 }
 
@@ -32,6 +38,12 @@ let fresh_stats () =
     budget_exhaustions = 0;
     injected_faults = 0;
     cache_evictions = 0;
+    incremental_checks = 0;
+    frame_pushes = 0;
+    frame_pops = 0;
+    learnts_retained = 0;
+    rung_retained = 0;
+    context_resets = 0;
     solve_time = 0.;
   }
 
@@ -122,14 +134,36 @@ let set_cache_capacity n =
 (* Every domain gets its own stats record, result cache and cache switch, so
    parallel search workers never contend on (or corrupt) shared tables. A
    registry of all per-domain states backs the aggregate/reset APIs. *)
+(* The per-domain incremental solver context: one long-lived SAT instance
+   plus bitblast cache, a stack of activation-literal frames mirroring the
+   DFS path prefix, and the guard tables mapping terms to their activation
+   variables. Lives in [domain_state] beside the intern tables and result
+   cache; see the [Frames] module below for the operations. *)
+type frames_ctx = {
+  mutable fc_sat : Sat.t;
+  mutable fc_bb : Bitblast.t;
+  fc_guards : int Term.Tbl.t; (* term -> activation var *)
+  fc_guard_terms : (int, Term.t) Hashtbl.t; (* reverse, for unsat cores *)
+  mutable fc_stack : Term.t list; (* frames, innermost first (as State.path) *)
+  mutable fc_last_core : Term.t list option; (* terms behind the last Unsat *)
+}
+
 type domain_state = {
   dstats : stats;
   dcache : result Key_tbl.t;
   dcache_order : Term.t list Queue.t; (* insertion order, for eviction *)
+  (* Verdict-only cache for incremental checks, deliberately separate from
+     [dcache]: incremental [Sat] answers carry no model, and serving one to
+     a model-extracting scratch caller would desynchronize witness
+     enumeration between the two modes. Stores the unsat core alongside
+     [Unsat] so cached answers still explain drops. *)
+  dvcache : (result * Term.t list option) Key_tbl.t;
+  dvcache_order : Term.t list Queue.t;
   mutable dcache_enabled : bool;
   mutable dbudget : budget option;
   dslot : int; (* registration order; seeds the fault PRNG *)
   mutable dfault : (int * Random.State.t) option; (* generation, PRNG *)
+  mutable dframes : frames_ctx option; (* lazily-built incremental context *)
 }
 
 let registry : domain_state list ref = ref []
@@ -143,10 +177,13 @@ let domain_key =
           dstats = fresh_stats ();
           dcache = Key_tbl.create 1024;
           dcache_order = Queue.create ();
+          dvcache = Key_tbl.create 1024;
+          dvcache_order = Queue.create ();
           dcache_enabled = true;
           dbudget = None;
           dslot = List.length !registry;
           dfault = None;
+          dframes = None;
         }
       in
       registry := st :: !registry;
@@ -171,6 +208,12 @@ let reset_one st =
   st.budget_exhaustions <- 0;
   st.injected_faults <- 0;
   st.cache_evictions <- 0;
+  st.incremental_checks <- 0;
+  st.frame_pushes <- 0;
+  st.frame_pops <- 0;
+  st.learnts_retained <- 0;
+  st.rung_retained <- 0;
+  st.context_resets <- 0;
   st.solve_time <- 0.
 
 let reset_stats () = reset_one (stats ())
@@ -195,13 +238,28 @@ let aggregate_stats () =
       acc.budget_exhaustions <- acc.budget_exhaustions + s.budget_exhaustions;
       acc.injected_faults <- acc.injected_faults + s.injected_faults;
       acc.cache_evictions <- acc.cache_evictions + s.cache_evictions;
+      acc.incremental_checks <- acc.incremental_checks + s.incremental_checks;
+      acc.frame_pushes <- acc.frame_pushes + s.frame_pushes;
+      acc.frame_pops <- acc.frame_pops + s.frame_pops;
+      acc.learnts_retained <- acc.learnts_retained + s.learnts_retained;
+      acc.rung_retained <- acc.rung_retained + s.rung_retained;
+      acc.context_resets <- acc.context_resets + s.context_resets;
       acc.solve_time <- acc.solve_time +. s.solve_time)
     states;
   acc
 
 let clear_one_cache d =
   Key_tbl.reset d.dcache;
-  Queue.clear d.dcache_order
+  Queue.clear d.dcache_order;
+  Key_tbl.reset d.dvcache;
+  Queue.clear d.dvcache_order;
+  (* The incremental context is a cache too (of CNF, guard variables and
+     learnt clauses keyed by term structure): dropping only the result
+     cache would leave every other domain's long-lived SAT instance holding
+     guards for terms from the configuration being abandoned — and after a
+     [Term.clear_interning] those structural keys can collide with fresh
+     terms. The next incremental check lazily rebuilds a fresh context. *)
+  d.dframes <- None
 
 (* Clearing is registry-wide: a per-domain clear left the other domains'
    caches holding results computed under the configuration being abandoned,
@@ -224,6 +282,33 @@ let reset_all_for_tests () =
   Term.clear_interning ();
   Bitblast.reset_memo_stats ();
   Obs.reset_all ()
+
+let aggregate_incremental_contexts () =
+  Mutex.lock registry_mutex;
+  let states = !registry in
+  Mutex.unlock registry_mutex;
+  List.fold_left
+    (fun n d -> match d.dframes with Some _ -> n + 1 | None -> n)
+    0 states
+
+(* --- incremental-solving switch --------------------------------------------
+
+   The escape hatch demanded by any refactor of the solver hot path: with
+   incrementality off every query takes the historical scratch route (fresh
+   SAT instance per query), so a miscompare between the two modes is one
+   environment variable away from a workaround and a bug report. *)
+
+let incremental_flag =
+  Atomic.make
+    (match Sys.getenv_opt "ACHILLES_INCREMENTAL" with
+    | Some s -> (
+        match String.lowercase_ascii (String.trim s) with
+        | "0" | "false" | "off" | "no" -> false
+        | _ -> true)
+    | None -> true)
+
+let incremental_enabled () = Atomic.get incremental_flag
+let set_incremental b = Atomic.set incremental_flag b
 
 let set_cache_enabled b = (domain_state ()).dcache_enabled <- b
 
@@ -269,6 +354,18 @@ let cache_insert d key r =
     Queue.push key d.dcache_order
   end
   else Key_tbl.replace d.dcache key r
+
+let vcache_insert d key r =
+  if not (Key_tbl.mem d.dvcache key) then begin
+    if Key_tbl.length d.dvcache >= Atomic.get cache_capacity then begin
+      let oldest = Queue.pop d.dvcache_order in
+      Key_tbl.remove d.dvcache oldest;
+      d.dstats.cache_evictions <- d.dstats.cache_evictions + 1
+    end;
+    Key_tbl.replace d.dvcache key r;
+    Queue.push key d.dvcache_order
+  end
+  else Key_tbl.replace d.dvcache key r
 
 (* Flatten nested conjunctions, drop [True], dedupe and sort for a canonical
    cache key. Returns [None] when a conjunct is literally [False]. *)
@@ -527,3 +624,253 @@ module Incremental = struct
     | Unsat -> true
     | Sat _ | Unknown -> false
 end
+
+(* --- assumption-based frame stack ------------------------------------------
+
+   The incremental core of the solver: one long-lived SAT instance per
+   context, a push/pop stack of constraint frames mirroring the DFS path
+   prefix, and per-term activation literals. Asserting a term adds the
+   clause (-g \/ lit(term)) once; a check solves under the assumptions
+   {g_t | t in stack} + {g_e | e in extras}, so sibling queries along the
+   path tree re-use each other's CNF and learnt clauses and only the delta
+   constraint is ever bitblasted. Popping a frame merely drops its term
+   from the stack — the guard stays registered, and re-pushing the same
+   term later (the interpreter pushes [cond] for the true child after
+   checking [not cond] for the false child) costs a table hit.
+
+   Checks through a frame context are verdict-oriented: [Sat] carries an
+   empty model. Model extraction must stay on the scratch path — a
+   persistent instance's phase saving and learnt clauses steer it to
+   different (though equally valid) models than a fresh solve, and report
+   digests include witness bytes. Complete solvers agree on verdicts, which
+   is why routing only verdict queries through here keeps report digests
+   byte-identical with incrementality on or off. *)
+
+(* Contexts are recycled once the SAT instance accumulates this many
+   variables: every CDCL answer assigns all variables, so an instance that
+   grew unboundedly across an entire run would make even trivial checks pay
+   for every query that came before. Recycling re-asserts only the current
+   stack (the bitblast cache is rebuilt on demand). *)
+let context_var_cap = Atomic.make 200_000
+
+let set_context_var_cap n =
+  if n < 1 then invalid_arg "Solver.set_context_var_cap";
+  Atomic.set context_var_cap n
+
+module Frames = struct
+  type t = frames_ctx
+
+  let create () =
+    let sat = Sat.create () in
+    {
+      fc_sat = sat;
+      fc_bb = Bitblast.create sat;
+      fc_guards = Term.Tbl.create 256;
+      fc_guard_terms = Hashtbl.create 256;
+      fc_stack = [];
+      fc_last_core = None;
+    }
+
+  let for_domain () =
+    let d = domain_state () in
+    match d.dframes with
+    | Some c -> c
+    | None ->
+        let c = create () in
+        d.dframes <- Some c;
+        c
+
+  (* Activation variable implying the term; allocated (and the implication
+     clause added) once per context, then reused by every later frame or
+     per-call assumption mentioning the same term. *)
+  let guard c (term : Term.t) =
+    match Term.Tbl.find_opt c.fc_guards term with
+    | Some g -> g
+    | None ->
+        let g = Sat.new_var c.fc_sat in
+        Sat.add_clause c.fc_sat [ -g; Bitblast.lit_of c.fc_bb term ];
+        Term.Tbl.replace c.fc_guards term g;
+        Hashtbl.replace c.fc_guard_terms g term;
+        g
+
+  let recycle c =
+    let st = (domain_state ()).dstats in
+    st.context_resets <- st.context_resets + 1;
+    Obs.count "solver.context_resets";
+    let sat = Sat.create () in
+    c.fc_sat <- sat;
+    c.fc_bb <- Bitblast.create sat;
+    Term.Tbl.reset c.fc_guards;
+    Hashtbl.reset c.fc_guard_terms;
+    c.fc_last_core <- None;
+    List.iter (fun t -> ignore (guard c t)) (List.rev c.fc_stack)
+
+  let push c term =
+    let st = (domain_state ()).dstats in
+    st.frame_pushes <- st.frame_pushes + 1;
+    Obs.count "solver.push";
+    ignore (guard c term);
+    c.fc_stack <- term :: c.fc_stack
+
+  let pop c =
+    match c.fc_stack with
+    | [] -> invalid_arg "Solver.Frames.pop: empty frame stack"
+    | _ :: rest ->
+        let st = (domain_state ()).dstats in
+        st.frame_pops <- st.frame_pops + 1;
+        Obs.count "solver.pop";
+        c.fc_stack <- rest
+
+  let depth c = List.length c.fc_stack
+  let path c = c.fc_stack
+
+  (* Align the frame stack with a DFS path (newest first, as [State.path]):
+     keep the common oldest-first prefix, pop what the search backtracked
+     past, push the delta. Sibling queries share everything but their last
+     few conjuncts, so this is O(path length) list walking and usually one
+     push. *)
+  let set_path c target =
+    let rec strip cur tgt =
+      match (cur, tgt) with
+      | c0 :: cr, t0 :: tr when Term.equal c0 t0 -> strip cr tr
+      | _ -> (cur, tgt)
+    in
+    let to_pop, to_push = strip (List.rev c.fc_stack) (List.rev target) in
+    List.iter (fun _ -> pop c) to_pop;
+    List.iter (push c) to_push
+
+  let learnts c = Sat.num_learnts c.fc_sat
+
+  let check ?conflict_limit c extras =
+    let d = domain_state () in
+    let st = d.dstats in
+    st.queries <- st.queries + 1;
+    st.incremental_checks <- st.incremental_checks + 1;
+    c.fc_last_core <- None;
+    Obs.span Obs.Solver_query (fun () ->
+        match canonicalize (List.rev_append c.fc_stack extras) with
+        | None ->
+            st.unsat_results <- st.unsat_results + 1;
+            Unsat
+        | Some [] -> Sat Model.empty
+        | Some key when Interval.definitely_unsat key ->
+            (* same sound pre-check the scratch path runs; the whole
+               canonical conjunction stands in for a core (the analysis
+               does not localize the conflict) *)
+            st.interval_prunes <- st.interval_prunes + 1;
+            c.fc_last_core <- Some key;
+            Unsat
+        | Some key when d.dcache_enabled && Key_tbl.mem d.dvcache key ->
+            (* verdict cache: repeated queries (sibling branches re-deciding
+               the same feasibility, the O(paths^2) matrix probes) answer
+               without touching the SAT instance, like the scratch path's
+               result cache — but from the verdict-only table *)
+            let r, core = Key_tbl.find d.dvcache key in
+            st.cache_hits <- st.cache_hits + 1;
+            if Obs.live () then Obs.emit ~kind:"cache" ~name:"hit" ();
+            (match r with Unsat -> c.fc_last_core <- core | Sat _ | Unknown -> ());
+            r
+        | Some key ->
+            if d.dcache_enabled then begin
+              st.cache_misses <- st.cache_misses + 1;
+              if Obs.live () then Obs.emit ~kind:"cache" ~name:"miss" ()
+            end;
+            if Sat.num_vars c.fc_sat > Atomic.get context_var_cap then
+              recycle c;
+            let assumptions, decide_vars =
+              Obs.span Obs.Bitblast (fun () ->
+                  (* frame guards oldest-first, then the per-call extras:
+                     assumptions become the leading decision levels, so this
+                     keeps the shared path prefix at the same levels across
+                     sibling queries *)
+                  let path_guards = List.rev_map (guard c) c.fc_stack in
+                  let assumptions = path_guards @ List.map (guard c) extras in
+                  (* decisions restricted to the query's own translation
+                     cone: everything else in the shared instance is either
+                     an unassumed activation implication or a total circuit
+                     definition, so a cone-complete partial assignment always
+                     extends — the query must not pay for what its siblings
+                     accumulated *)
+                  let decide_vars =
+                    Bitblast.cone_vars c.fc_bb
+                      (List.rev_append c.fc_stack extras)
+                  in
+                  (assumptions, decide_vars))
+            in
+            let rung = ref (-1) in
+            let r =
+              with_budget ~conflict_limit d (fun ~conflict_limit ~deadline ->
+                incr rung;
+                let retained = Sat.num_learnts c.fc_sat in
+                st.learnts_retained <- st.learnts_retained + retained;
+                if !rung > 0 then begin
+                  (* learning carried into an escalation retry: the rung
+                     restarts with a bigger budget but not from scratch *)
+                  st.rung_retained <- st.rung_retained + retained;
+                  Obs.count ~n:retained "solver.rung_retained_learnts"
+                end;
+                if fault_fires d then Unknown
+                else begin
+                  st.sat_calls <- st.sat_calls + 1;
+                  let t0 = Unix.gettimeofday () in
+                  let answer =
+                    Sat.solve ?conflict_limit ?deadline ~assumptions
+                      ~decide_vars c.fc_sat
+                  in
+                  st.solve_time <- st.solve_time +. (Unix.gettimeofday () -. t0);
+                  match answer with
+                  | Some Sat.Sat ->
+                      st.sat_results <- st.sat_results + 1;
+                      Sat Model.empty
+                  | Some Sat.Unsat ->
+                      st.unsat_results <- st.unsat_results + 1;
+                      c.fc_last_core <-
+                        (match Sat.unsat_core c.fc_sat with
+                        | [] -> None
+                        | lits ->
+                            Some
+                              (List.filter_map
+                                 (fun l ->
+                                   Hashtbl.find_opt c.fc_guard_terms (abs l))
+                                 lits));
+                      Unsat
+                  | None -> Unknown
+                end)
+            in
+            (match r with
+            | Unknown -> ()
+            | Sat _ | Unsat ->
+                if d.dcache_enabled then
+                  vcache_insert d key (r, c.fc_last_core));
+            r)
+
+  let is_sat ?conflict_limit c extras =
+    match check ?conflict_limit c extras with
+    | Sat _ -> true
+    | Unsat | Unknown -> false
+
+  (* Assumption terms (frames and per-call extras alike) responsible for the
+     last [Unsat]; [None] when the last check answered Sat/Unknown or hit a
+     trivially-false conjunct. *)
+  let unsat_core c = c.fc_last_core
+end
+
+let check_assuming ?conflict_limit ?(path = []) extras =
+  if not (incremental_enabled ()) then check ?conflict_limit (extras @ path)
+  else begin
+    let c = Frames.for_domain () in
+    Frames.set_path c path;
+    Frames.check ?conflict_limit c extras
+  end
+
+let is_sat_assuming ?path terms =
+  match check_assuming ?path terms with
+  | Sat _ -> true
+  | Unsat | Unknown -> false
+
+let last_assumption_core () =
+  if not (incremental_enabled ()) then None
+  else
+    match (domain_state ()).dframes with
+    | None -> None
+    | Some c -> Frames.unsat_core c

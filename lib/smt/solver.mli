@@ -43,6 +43,111 @@ val implied : Term.t list -> Term.t -> bool
 (** [implied assumptions t]: does the conjunction of [assumptions] entail
     [t]? *)
 
+(** {1 Incremental solving (assumption-based frame stack)}
+
+    When incremental solving is enabled (the default; see
+    {!incremental_enabled}), verdict-only queries can be decided on a
+    long-lived per-domain SAT instance instead of a scratch instance per
+    query. Constraints are activated through per-term guard literals and a
+    push/pop frame stack mirrors the DFS path prefix, so sibling queries
+    along the path tree only bitblast their delta constraint and learnt
+    clauses persist across queries and across escalation rungs.
+
+    Incremental checks are {e verdict-oriented}: [Sat] answers carry an
+    empty model. Model extraction (witness enumeration) must keep using the
+    scratch {!check} — a persistent instance finds different (though equally
+    valid) models, and report digests include witness bytes. Complete
+    solvers agree on verdicts, so report digests are byte-identical whether
+    incrementality is on or off. *)
+
+val incremental_enabled : unit -> bool
+(** Whether {!check_assuming} uses the per-domain incremental context.
+    Defaults to [true]; the environment variable [ACHILLES_INCREMENTAL]
+    (["0"], ["false"], ["off"], ["no"]) or {!set_incremental} turns it off,
+    falling back to the scratch path. *)
+
+val set_incremental : bool -> unit
+(** Toggle incremental solving globally (the [--no-incremental] escape
+    hatch). Takes effect on the next query; existing contexts are kept and
+    simply bypassed while disabled. *)
+
+val check_assuming :
+  ?conflict_limit:int -> ?path:Term.t list -> Term.t list -> result
+(** [check_assuming ~path extras]: satisfiability of the conjunction of
+    [path] (newest-first, as [State.path]) and [extras]. With incremental
+    solving enabled this syncs the calling domain's frame stack to [path]
+    (popping what the search backtracked past, pushing the delta) and solves
+    under assumptions on the shared instance; disabled, it is exactly
+    [check (extras @ path)]. Treat the answer as a verdict only: the
+    incremental path returns [Sat] with an empty model, while the scratch
+    fallback happens to carry a real one. *)
+
+val is_sat_assuming : ?path:Term.t list -> Term.t list -> bool
+(** {!check_assuming} specialized to a boolean; [Unknown] maps to [false]
+    like {!is_sat}. *)
+
+val last_assumption_core : unit -> Term.t list option
+(** After an [Unsat] from {!check_assuming} on this domain: the subset of
+    that query's terms (path and extras alike) responsible for the
+    conflict. [None] with incrementality disabled, after Sat/Unknown, or
+    when the conflict was found before reaching the SAT core machinery. *)
+
+val set_context_var_cap : int -> unit
+(** Variable count at which a domain's incremental context is recycled
+    (rebuilt fresh, re-asserting only the live frames) — bounds the cost
+    unrelated accumulated CNF imposes on every later check. Default
+    200_000. Raises [Invalid_argument] on a non-positive cap. Test API. *)
+
+val aggregate_incremental_contexts : unit -> int
+(** Live incremental contexts across every registered domain — 0 right
+    after {!clear_cache} / {!reset_all_for_tests}, which drop them
+    registry-wide. *)
+
+(** Explicit handle on the frame-stack machinery backing {!check_assuming}
+    — the differential test harness drives it directly. *)
+module Frames : sig
+  type t
+
+  val create : unit -> t
+  (** A fresh, empty context (its own SAT instance and bitblast cache). *)
+
+  val for_domain : unit -> t
+  (** The calling domain's shared context, created on first use; the one
+      {!check_assuming} syncs to. *)
+
+  val push : t -> Term.t -> unit
+  (** Enter a frame asserting one term (guarded by an activation literal;
+      the term is bitblasted now, once per context). *)
+
+  val pop : t -> unit
+  (** Leave the innermost frame. The term's guard and CNF stay registered
+      for later re-activation; only the assumption is dropped. Raises
+      [Invalid_argument] on an empty stack. *)
+
+  val depth : t -> int
+  val path : t -> Term.t list
+  (** Current frames, innermost first (the [State.path] orientation). *)
+
+  val set_path : t -> Term.t list -> unit
+  (** Align the stack with a DFS path (newest first): pop frames past the
+      common prefix, push the delta. *)
+
+  val check : ?conflict_limit:int -> t -> Term.t list -> result
+  (** Satisfiability of (every frame on the stack /\ the given terms); the
+      given terms hold for this call only. Honors the ambient {!budget}
+      (with learnt clauses retained between escalation rungs) and fault
+      injection exactly like the top-level {!check}. [Sat] carries an
+      empty model. *)
+
+  val is_sat : ?conflict_limit:int -> t -> Term.t list -> bool
+
+  val unsat_core : t -> Term.t list option
+  (** Terms behind the last [Unsat] answer of {!check}. *)
+
+  val learnts : t -> int
+  (** Learnt clauses currently retained by the context's SAT instance. *)
+end
+
 (** {1 Resource budgets}
 
     A budget bounds each query attempt by a wall-clock deadline ([deadline]
@@ -105,6 +210,16 @@ type stats = {
   mutable budget_exhaustions : int; (* ladders that ended in Unknown *)
   mutable injected_faults : int; (* faults fired by {!set_fault_injection} *)
   mutable cache_evictions : int; (* result-cache entries dropped at the cap *)
+  mutable incremental_checks : int; (* queries decided on a frame context *)
+  mutable frame_pushes : int; (* frames entered ({!Frames.push}) *)
+  mutable frame_pops : int; (* frames left ({!Frames.pop}) *)
+  mutable learnts_retained : int;
+  (* learnt clauses already present at the start of each incremental SAT
+     attempt — the learning carried over from earlier queries *)
+  mutable rung_retained : int;
+  (* the subset of [learnts_retained] carried into escalation retries
+     (rung >= 1): scratch solving re-learns these from nothing *)
+  mutable context_resets : int; (* incremental contexts recycled at the cap *)
   mutable solve_time : float; (* seconds spent inside the SAT solver *)
 }
 

@@ -240,8 +240,17 @@ let rec eval ctx st (locals : locals) (e : Ast.expr) : Term.t =
 
 (* --- state helpers ----------------------------------------------------------- *)
 
-let feasible ctx terms =
-  match Solver.check ?conflict_limit:ctx.config.feasibility_conflict_limit terms with
+(* Is [cond] consistent with the state's path? Verdict-only, so it rides
+   the per-domain incremental context: the frame stack is synced to the
+   state's path prefix (shared with the sibling branch and every ancestor
+   check) and only [cond] itself is new. [--no-incremental] falls back to
+   the historical scratch query [check (cond :: path)]. *)
+let feasible ctx (st : State.t) cond =
+  match
+    Solver.check_assuming
+      ?conflict_limit:ctx.config.feasibility_conflict_limit
+      ~path:st.State.path [ cond ]
+  with
   | Solver.Sat _ -> true
   | Solver.Unsat -> false
   | Solver.Unknown -> true (* conservative: keep exploring *)
@@ -318,11 +327,11 @@ let branch ctx (st : State.t) cond ift iff : outcomes =
       in
       let t_feasible =
         (not (State.has_conjunct st (Term.not_ cond) && subsumed "true"))
-        && feasible ctx (cond :: st.State.path)
+        && feasible ctx st cond
       in
       let f_feasible =
         (not (State.has_conjunct st cond && subsumed "false"))
-        && feasible ctx (Term.not_ cond :: st.State.path)
+        && feasible ctx st (Term.not_ cond)
       in
       match t_feasible, f_feasible with
       | true, true ->
@@ -560,7 +569,7 @@ and exec_stmt_unsafe ctx (st : State.t) (locals : locals) (stmt : Ast.stmt) :
       | Some true -> Seq.return (st, locals, Fall)
       | Some false -> Seq.return (finish ctx st State.Dropped, locals, End)
       | None ->
-          if feasible ctx (cond :: st.State.path) then
+          if feasible ctx st cond then
             match add_constraint ctx st cond with
             | Some st -> Seq.return (st, locals, Fall)
             | None -> Seq.empty

@@ -305,17 +305,30 @@ let qcheck_fault_superset =
       if not (Search.coverage_complete clean.Search.coverage) then false
       else begin
         let clean_labels = trojan_labels clean in
-        let faulty_ok (domains, seed) =
+        (* each chaos configuration runs on both solver routes: the default
+           assumption-based frame contexts and the scratch-instance fallback
+           ([--no-incremental]); degraded answers must over-approximate on
+           either one *)
+        let faulty_ok (domains, seed, incremental) =
+          let prev = Solver.incremental_enabled () in
           Solver.set_fault_injection ~rate:0.3 ~seed ();
+          Solver.set_incremental incremental;
           let faulty =
             Fun.protect
-              ~finally:(fun () -> Solver.set_fault_injection ())
+              ~finally:(fun () ->
+                Solver.set_fault_injection ();
+                Solver.set_incremental prev)
               (fun () ->
                 run_case
                   ~config:{ Search.default_config with Search.domains }
                   ~base client server)
           in
+          let inc = (Solver.aggregate_stats ()).Solver.incremental_checks in
           let faulty_labels = trojan_labels faulty in
+          (* the toggle really selects the route: the scratch leg must never
+             touch a frame context *)
+          (incremental || inc = 0)
+          &&
           (* every fault-free trojan state is still reported… *)
           List.for_all (fun l -> List.mem l faulty_labels) clean_labels
           (* …faults never make coverage incomplete (they degrade answers,
@@ -329,7 +342,8 @@ let qcheck_fault_superset =
                  || faulty.Search.coverage.Search.unknown_witness > 0)
                faulty.Search.trojans
         in
-        List.for_all faulty_ok [ (1, 7); (4, 42) ]
+        List.for_all faulty_ok
+          [ (1, 7, true); (4, 42, true); (1, 7, false); (4, 42, false) ]
       end)
 
 let qcheck_budget_superset =
@@ -340,19 +354,30 @@ let qcheck_budget_superset =
       let client, server, base = extract_case case in
       let clean = run_case ~base client server in
       let clean_labels = trojan_labels clean in
-      let starved =
-        run_case
-          ~config:
-            {
-              Search.default_config with
-              Search.solver_budget =
-                Some (Solver.budget ~conflicts:0 ~escalations:1 ());
-            }
-          ~base client server
+      (* starvation must stay an over-approximation on both solver routes:
+         a frame context that runs out of rungs degrades exactly as soundly
+         as a starved scratch instance *)
+      let starved_ok incremental =
+        let prev = Solver.incremental_enabled () in
+        Solver.set_incremental incremental;
+        let starved =
+          Fun.protect
+            ~finally:(fun () -> Solver.set_incremental prev)
+            (fun () ->
+              run_case
+                ~config:
+                  {
+                    Search.default_config with
+                    Search.solver_budget =
+                      Some (Solver.budget ~conflicts:0 ~escalations:1 ());
+                  }
+                ~base client server)
+        in
+        let starved_labels = trojan_labels starved in
+        List.for_all (fun l -> List.mem l starved_labels) clean_labels
+        && Search.coverage_complete starved.Search.coverage
       in
-      let starved_labels = trojan_labels starved in
-      List.for_all (fun l -> List.mem l starved_labels) clean_labels
-      && Search.coverage_complete starved.Search.coverage)
+      starved_ok true && starved_ok false)
 
 (* --- shard chaos: retry and failure isolation -------------------------------- *)
 
@@ -553,12 +578,23 @@ let test_fsp_under_faults () =
   let clean = run_case ~config:(fsp_config ~domains:4) ~base client server_fsp in
   let clean_states = distinct_trojan_states clean in
   Solver.set_fault_injection ~rate:0.05 ~seed:0xf5b ();
+  (* pin the frame-context route for the chaos run, so the drill stays
+     meaningful when the suite runs under ACHILLES_INCREMENTAL=0 *)
+  let prev_incremental = Solver.incremental_enabled () in
+  Solver.set_incremental true;
   let faulty =
     Fun.protect
-      ~finally:(fun () -> Solver.set_fault_injection ())
+      ~finally:(fun () ->
+        Solver.set_fault_injection ();
+        Solver.set_incremental prev_incremental)
       (fun () ->
         run_case ~config:(fsp_config ~domains:4) ~base client server_fsp)
   in
+  (* the chaos run really went down the route under test: frame contexts
+     decided queries while faults were being injected into them *)
+  let s = Solver.aggregate_stats () in
+  Alcotest.(check bool) "faults landed on the incremental path" true
+    (s.Solver.injected_faults > 0 && s.Solver.incremental_checks > 0);
   Alcotest.(check bool) "faulty run terminated with complete coverage" true
     (Search.coverage_complete faulty.Search.coverage);
   Alcotest.(check bool) "no fewer trojan-bearing server states" true
