@@ -1197,6 +1197,133 @@ let bechamel_benchmarks () =
       Format.printf "  %-32s %16s@." name pretty)
     rows
 
+(* --- E16: multi-process search ------------------------------------------------------------------ *)
+
+let experiment_dist () =
+  banner "E16: multi-process search — coordinator/worker digest equality";
+  let rec rm_rf path =
+    match Sys.is_directory path with
+    | true ->
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+    | false -> Sys.remove path
+    | exception Sys_error _ -> ()
+  in
+  let config = { fsp_search_config with Search.domains = 4 } in
+  (* the golden single-process run every distributed configuration must
+     reproduce byte for byte *)
+  let golden_digest, t_inproc =
+    Solver.reset_all_for_tests ();
+    Term.set_fresh_counter 0;
+    let t0 = Unix.gettimeofday () in
+    let analysis =
+      Achilles.analyze ~search_config:config ~layout:Fsp_model.layout
+        ~clients:(Fsp_model.clients ()) ~server:Fsp_model.server ()
+    in
+    (Report.report_digest analysis.Achilles.report, Unix.gettimeofday () -. t0)
+  in
+  let dist ~label ~workers ~fault_rate =
+    Solver.reset_all_for_tests ();
+    Term.set_fresh_counter 0;
+    let client, _ =
+      Client_extract.extract ~config:Interp.default_config
+        ~layout:Fsp_model.layout
+        (Fsp_model.clients ())
+    in
+    let different_from =
+      if config.Search.use_different_from then
+        Some (fst (Different_from.compute ?mask:config.Search.mask client))
+      else None
+    in
+    let job =
+      Achilles_dist.Worker.job_of ~config ?different_from ~client
+        ~server:Fsp_model.server ()
+    in
+    let params =
+      {
+        Achilles_dist.Worker.heartbeat_interval = 0.02;
+        poll_sleep = 0.005;
+        orphan_timeout = 30.0;
+        fault_rate;
+        fault_seed = 0xf00d;
+      }
+    in
+    let workdir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "achilles-bench-dist-%d-%s" (Unix.getpid ()) label)
+    in
+    rm_rf workdir;
+    Unix.mkdir workdir 0o755;
+    let ccfg =
+      {
+        Achilles_dist.Coordinator.c_workers = workers;
+        c_lease_ttl = 5.0;
+        c_reassign_budget = 50;
+        c_max_respawns = 500;
+        c_backoff = (fun _ -> 0.01);
+        c_drain_grace = 10.0;
+        c_tick = 0.005;
+        c_cancel = (fun () -> false);
+      }
+    in
+    let spawn =
+      Achilles_dist.Coordinator.domain_spawner ~workdir ~job ~params ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let report = Achilles_dist.Coordinator.run ~config:ccfg ~workdir ~job ~spawn () in
+    let t = Unix.gettimeofday () -. t0 in
+    rm_rf workdir;
+    (label, workers, fault_rate, t, report)
+  in
+  let runs =
+    [
+      dist ~label:"workers2" ~workers:2 ~fault_rate:0.;
+      dist ~label:"workers4" ~workers:4 ~fault_rate:0.;
+      dist ~label:"workers4-kills" ~workers:4 ~fault_rate:0.05;
+    ]
+  in
+  Format.printf "  %-16s %9s %9s %12s  %s@." "mode" "wall (s)" "faults"
+    "reassigned" "report digest";
+  Format.printf "  %-16s %9.2f %9s %12s  %s@." "in-process" t_inproc "-" "-"
+    golden_digest;
+  let rows =
+    Printf.sprintf "in-process,1,0,%.4f,0,%s" t_inproc golden_digest
+    :: List.map
+         (fun (label, workers, fault_rate, t, (report : Search.report)) ->
+           let digest = Report.report_digest report in
+           let retried = report.Search.coverage.Search.shard_retry_attempts in
+           Format.printf "  %-16s %9.2f %9.2f %12d  %s%s@." label t fault_rate
+             retried digest
+             (if digest = golden_digest then "" else "  << MISMATCH");
+           Printf.sprintf "%s,%d,%.2f,%.4f,%d,%s" label workers fault_rate t
+             retried digest)
+         runs
+  in
+  let all_equal =
+    List.for_all
+      (fun (_, _, _, _, (r : Search.report)) ->
+        Report.report_digest r = golden_digest)
+      runs
+  in
+  Format.printf
+    "@.  digests identical across {in-process, 2 workers, 4 workers, 4 \
+     workers with kills}: %b@."
+    all_equal;
+  let saved = !csv_dir in
+  if saved = None then begin
+    (try Unix.mkdir "bench" 0o755
+     with Unix.Unix_error ((Unix.EEXIST | Unix.EPERM), _, _) -> ());
+    csv_dir := Some (Filename.concat "bench" "figures")
+  end;
+  write_csv "dist.csv" "mode,workers,fault_rate,wall_s,reassignments,digest"
+    rows;
+  csv_dir := saved;
+  if not all_equal then begin
+    Format.eprintf "dist: a distributed run diverged from the golden digest@.";
+    exit 1
+  end
+
 (* --- driver ------------------------------------------------------------------------------------- *)
 
 let experiments =
@@ -1216,6 +1343,7 @@ let experiments =
     ("sharing", experiment_sharing);
     ("profile", experiment_profile);
     ("incremental", experiment_incremental);
+    ("dist", experiment_dist);
   ]
 
 let () =

@@ -175,6 +175,47 @@ let resume_arg =
   in
   Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
 
+let workers_arg =
+  let doc =
+    "Distribute the search over $(docv) worker $(i,processes) (an \
+     `achilles worker` each), coordinated over $(b,--work-dir) with leases, \
+     heartbeats, and crash-proof shard reassignment. The report is \
+     byte-identical to an in-process run. 0 disables; negative picks one \
+     worker per spare core."
+  in
+  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc)
+
+let work_dir_arg =
+  let doc =
+    "Work directory for the coordinator/worker protocol (manifest, \
+     mailboxes, leases, shard checkpoints). Survives crashes: re-running \
+     the same analysis against the same directory resumes from the \
+     completed shards."
+  in
+  Arg.(value & opt (some string) None & info [ "work-dir" ] ~docv:"DIR" ~doc)
+
+let lease_ttl_arg =
+  let doc =
+    "Shard-lease time-to-live in seconds: a worker whose heartbeats stop \
+     this long loses the shard, which is reassigned (distributed mode)."
+  in
+  Arg.(value & opt float 10.0 & info [ "lease-ttl" ] ~docv:"SECONDS" ~doc)
+
+let reassign_budget_arg =
+  let doc =
+    "Maximum assignments per shard before it is reported as uncovered \
+     instead of being retried forever (distributed mode)."
+  in
+  Arg.(value & opt int 5 & info [ "reassign-budget" ] ~docv:"N" ~doc)
+
+let digest_arg =
+  let doc =
+    "Print the deterministic report digest (stable across domain counts, \
+     worker counts, kills, and resume) — the handle CI uses to assert \
+     distributed == single-process."
+  in
+  Arg.(value & flag & info [ "digest" ] ~doc)
+
 let verbose_arg =
   let doc = "Also print the symbolic Trojan expressions." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
@@ -238,9 +279,126 @@ let install_signal_handlers () =
   handle Sys.sigint;
   handle Sys.sigterm
 
-(* 0 = complete coverage, 3 = partial (interrupted or failed shards) *)
+(* 0 = complete coverage, 3 = partial (interrupted or uncovered shards) *)
 let exit_code_of (report : Search.report) =
   if Search.coverage_complete report.Search.coverage then 0 else 3
+
+(* --- distributed mode -------------------------------------------------------------
+
+   `analyze --workers N --work-dir DIR` runs the coordinator in this
+   process and spawns N `achilles worker` processes of this same binary.
+   Workers rebuild the search inputs from the manifest below; client
+   extraction and the differentFrom matrix are deterministic, so every
+   process derives the same terms, the same shard decomposition, and the
+   same run fingerprint — which the worker verifies before serving. *)
+
+module Dist = Achilles_dist
+
+type manifest = {
+  mf_target : string;
+  mf_mask : string option; (* raw --mask argument *)
+  mf_witnesses : int;
+  mf_no_drop : bool;
+  mf_no_df : bool;
+  mf_no_prune : bool;
+  mf_no_incremental : bool;
+  mf_explain : bool;
+  mf_deadline : float option;
+  mf_conflicts : int option;
+  mf_workers : int; (* shard decomposition derives from this *)
+  mf_fingerprint : string; (* expected run fingerprint; drift check *)
+}
+
+(* The search config a distributed run uses, identical on both sides.
+   [domains] is set to the worker count so the shard decomposition scales
+   with it (each worker explores its leased shard sequentially). *)
+let dist_search_config target ~mask ~witnesses ~no_drop ~no_df ~no_prune
+    ~explain ~workers ~deadline ~conflicts =
+  let solver_budget =
+    match (deadline, conflicts) with
+    | None, None -> None
+    | deadline, conflicts -> Some (Solver.budget ?deadline ?conflicts ())
+  in
+  {
+    Search.default_config with
+    Search.mask = parse_mask target mask;
+    Search.witnesses_per_path = witnesses;
+    Search.distinct_by = target.distinct_by;
+    Search.drop_alive = not no_drop;
+    Search.use_different_from = not no_df;
+    Search.prune_no_trojan = not no_prune;
+    Search.explain_drops = explain;
+    Search.interp = target.interp;
+    Search.domains = max 1 workers;
+    Search.solver_budget;
+    Search.cancel = (fun () -> Atomic.get interrupted);
+  }
+
+let search_config_of_manifest target mf =
+  dist_search_config target ~mask:mf.mf_mask ~witnesses:mf.mf_witnesses
+    ~no_drop:mf.mf_no_drop ~no_df:mf.mf_no_df ~no_prune:mf.mf_no_prune
+    ~explain:mf.mf_explain ~workers:mf.mf_workers ~deadline:mf.mf_deadline
+    ~conflicts:mf.mf_conflicts
+
+(* Client extraction + differentFrom, then the job record every process of
+   the run must agree on. *)
+let dist_job target config =
+  let client, client_stats =
+    Client_extract.extract ~config:Interp.default_config ~layout:target.layout
+      target.clients
+  in
+  let different_from, different_from_stats =
+    if config.Search.use_different_from then
+      let df, stats = Different_from.compute ?mask:config.Search.mask client in
+      (Some df, Some stats)
+    else (None, None)
+  in
+  let job =
+    Dist.Worker.job_of ~config ?different_from ~client ~server:target.server ()
+  in
+  (job, client, client_stats, different_from, different_from_stats)
+
+let run_coordinator target config ~workers ~workdir ~lease_ttl
+    ~reassign_budget ~manifest_flags =
+  let t0 = Unix.gettimeofday () in
+  let job, client, client_stats, different_from, different_from_stats =
+    dist_job target config
+  in
+  let t1 = Unix.gettimeofday () in
+  let mf = { manifest_flags with mf_fingerprint = job.Dist.Worker.j_fingerprint } in
+  let spawn =
+    Dist.Coordinator.process_spawner ~prog:Sys.executable_name
+      ~argv:[| Sys.executable_name; "worker"; "--work-dir"; workdir |]
+      ()
+  in
+  let ccfg =
+    {
+      Dist.Coordinator.default_config with
+      Dist.Coordinator.c_workers = workers;
+      Dist.Coordinator.c_lease_ttl = lease_ttl;
+      Dist.Coordinator.c_reassign_budget = reassign_budget;
+      Dist.Coordinator.c_cancel = (fun () -> Atomic.get interrupted);
+    }
+  in
+  let report =
+    Dist.Coordinator.run ~config:ccfg ~workdir ~job ~spawn
+      ~manifest:(Marshal.to_string mf []) ()
+  in
+  {
+    Achilles.client;
+    client_stats;
+    different_from;
+    different_from_stats;
+    report;
+    timing =
+      {
+        Achilles.client_extraction =
+          client_stats.Client_extract.wall_time;
+        preprocessing =
+          t1 -. t0 -. client_stats.Client_extract.wall_time;
+        server_analysis = report.Search.search_stats.Search.wall_time;
+      };
+  }
 
 (* --- commands -------------------------------------------------------------------- *)
 
@@ -255,12 +413,20 @@ let list_cmd =
     Term.(const run $ const ())
 
 let analyze name mask witnesses no_drop no_df no_prune no_incremental verbose
-    explain domains deadline solver_budget checkpoint_dir resume trace =
+    explain domains deadline solver_budget checkpoint_dir resume trace workers
+    work_dir lease_ttl reassign_budget digest =
   match find_target name with
   | Error e ->
       Format.eprintf "%s@." e;
       1
+  | Ok target when workers <> 0 && work_dir = None ->
+      Format.eprintf "achilles analyze %s: --workers requires --work-dir@."
+        target.target_name;
+      1
   | Ok target ->
+      let workers =
+        if workers < 0 then Pool.recommended_domains () else workers
+      in
       if no_incremental then Solver.set_incremental false;
       install_signal_handlers ();
       setup_trace trace;
@@ -274,37 +440,67 @@ let analyze name mask witnesses no_drop no_df no_prune no_incremental verbose
           Obs.Trace.disable ())
       @@ fun () ->
       Obs.emit ~kind:"meta" ~name:"analyze"
-        ~args:[ ("target", Obs.S name); ("domains", Obs.I domains) ]
+        ~args:
+          [
+            ("target", Obs.S name);
+            ("domains", Obs.I domains);
+            ("workers", Obs.I workers);
+          ]
         ();
-      let solver_budget =
-        match (deadline, solver_budget) with
-        | None, None -> None
-        | deadline, conflicts -> Some (Solver.budget ?deadline ?conflicts ())
-      in
-      let checkpoint_dir =
-        match resume with Some dir -> Some dir | None -> checkpoint_dir
-      in
-      let config =
-        {
-          Search.default_config with
-          Search.mask = parse_mask target mask;
-          Search.witnesses_per_path = witnesses;
-          Search.distinct_by = target.distinct_by;
-          Search.drop_alive = not no_drop;
-          Search.use_different_from = not no_df;
-          Search.prune_no_trojan = not no_prune;
-          Search.explain_drops = explain;
-          Search.interp = target.interp;
-          Search.domains = domains;
-          Search.solver_budget;
-          Search.checkpoint_dir;
-          Search.resume = resume <> None;
-          Search.cancel = (fun () -> Atomic.get interrupted);
-        }
-      in
       let analysis =
-        Achilles.analyze ~search_config:config ~layout:target.layout
-          ~clients:target.clients ~server:target.server ()
+        match work_dir with
+        | Some workdir when workers > 0 ->
+            let config =
+              dist_search_config target ~mask ~witnesses ~no_drop ~no_df
+                ~no_prune ~explain ~workers ~deadline ~conflicts:solver_budget
+            in
+            run_coordinator target config ~workers ~workdir ~lease_ttl
+              ~reassign_budget
+              ~manifest_flags:
+                {
+                  mf_target = name;
+                  mf_mask = mask;
+                  mf_witnesses = witnesses;
+                  mf_no_drop = no_drop;
+                  mf_no_df = no_df;
+                  mf_no_prune = no_prune;
+                  mf_no_incremental = no_incremental;
+                  mf_explain = explain;
+                  mf_deadline = deadline;
+                  mf_conflicts = solver_budget;
+                  mf_workers = workers;
+                  mf_fingerprint = "";
+                }
+        | _ ->
+            let solver_budget =
+              match (deadline, solver_budget) with
+              | None, None -> None
+              | deadline, conflicts ->
+                  Some (Solver.budget ?deadline ?conflicts ())
+            in
+            let checkpoint_dir =
+              match resume with Some dir -> Some dir | None -> checkpoint_dir
+            in
+            let config =
+              {
+                Search.default_config with
+                Search.mask = parse_mask target mask;
+                Search.witnesses_per_path = witnesses;
+                Search.distinct_by = target.distinct_by;
+                Search.drop_alive = not no_drop;
+                Search.use_different_from = not no_df;
+                Search.prune_no_trojan = not no_prune;
+                Search.explain_drops = explain;
+                Search.interp = target.interp;
+                Search.domains = domains;
+                Search.solver_budget;
+                Search.checkpoint_dir;
+                Search.resume = resume <> None;
+                Search.cancel = (fun () -> Atomic.get interrupted);
+              }
+            in
+            Achilles.analyze ~search_config:config ~layout:target.layout
+              ~clients:target.clients ~server:target.server ()
       in
       Obs.span Obs.Report (fun () ->
           Format.printf "%a@.@." Achilles.pp_summary analysis;
@@ -340,6 +536,9 @@ let analyze name mask witnesses no_drop no_df no_prune no_incremental verbose
               analysis.Achilles.report.Search.drops
           end);
       Format.printf "@.%a@." Report.pp_metrics (Obs.aggregate ());
+      if digest then
+        Format.printf "@.report digest: %s@."
+          (Report.report_digest analysis.Achilles.report);
       exit_code_of analysis.Achilles.report
 
 let analyze_cmd =
@@ -357,7 +556,8 @@ let analyze_cmd =
       const analyze $ target_arg $ mask_arg $ witnesses_arg $ no_drop_arg
       $ no_df_arg $ no_prune_arg $ no_incremental_arg $ verbose_arg
       $ explain_arg $ domains_arg $ deadline_arg $ solver_budget_arg
-      $ checkpoint_dir_arg $ resume_arg $ trace_arg)
+      $ checkpoint_dir_arg $ resume_arg $ trace_arg $ workers_arg
+      $ work_dir_arg $ lease_ttl_arg $ reassign_budget_arg $ digest_arg)
 
 let predicate name =
   match find_target name with
@@ -464,6 +664,88 @@ let replay_cmd =
           concretely executed server (fire-drill mode)")
     Term.(const replay $ target_arg $ witnesses_arg)
 
+(* --- worker mode ------------------------------------------------------------------ *)
+
+let worker workdir wid epoch =
+  install_signal_handlers ();
+  let manifest_path = Dist.Lease.manifest_file workdir in
+  (* the coordinator writes the manifest before spawning anyone, so a
+     short wait only covers slow filesystems *)
+  let rec wait_manifest tries =
+    match Dist.Lease.read_file manifest_path with
+    | Some content -> Some content
+    | None ->
+        if tries <= 0 then None
+        else begin
+          Unix.sleepf 0.05;
+          wait_manifest (tries - 1)
+        end
+  in
+  match wait_manifest 100 with
+  | None ->
+      Format.eprintf "achilles worker: no manifest in %s@." workdir;
+      2
+  | Some content -> (
+      match (Marshal.from_string content 0 : manifest) with
+      | exception _ ->
+          Format.eprintf "achilles worker: unreadable manifest in %s@." workdir;
+          2
+      | mf -> (
+          match find_target mf.mf_target with
+          | Error e ->
+              Format.eprintf "achilles worker: %s@." e;
+              2
+          | Ok target ->
+              if mf.mf_no_incremental then Solver.set_incremental false;
+              let config = search_config_of_manifest target mf in
+              let job, _, _, _, _ = dist_job target config in
+              if job.Dist.Worker.j_fingerprint <> mf.mf_fingerprint then begin
+                (* binary or target drift: serving would poison the merge *)
+                Format.eprintf
+                  "achilles worker: run fingerprint mismatch for %s (got %s, \
+                   manifest %s)@."
+                  mf.mf_target job.Dist.Worker.j_fingerprint mf.mf_fingerprint;
+                2
+              end
+              else begin
+                Dist.Worker.run ~workdir ~wid ~epoch ~job ();
+                0
+              end))
+
+let worker_cmd =
+  let work_dir_req =
+    let doc = "Coordinator work directory to attach to." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "work-dir" ] ~docv:"DIR" ~doc)
+  in
+  let id_arg =
+    let doc = "Worker id assigned by the coordinator." in
+    Arg.(required & opt (some int) None & info [ "id" ] ~docv:"N" ~doc)
+  in
+  let epoch_arg =
+    let doc = "Respawn epoch (diversifies the fault-injection PRNG)." in
+    Arg.(value & opt int 0 & info [ "epoch" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Serve shards for a distributed analyze run (spawned by \
+          $(b,analyze --workers); rarely invoked by hand). Rebuilds the \
+          search inputs from the coordinator's manifest, verifies the run \
+          fingerprint, then leases shards until drained. \
+          $(b,ACHILLES_WORKER_FAULT_RATE) injects deterministic \
+          mid-shard crashes for chaos testing."
+       ~man:
+         [
+           `S Cmdliner.Manpage.s_exit_status;
+           `P
+             "0 after a clean drain; 2 when the manifest is missing, \
+              unreadable, or names a different run fingerprint.";
+         ])
+    Term.(const worker $ work_dir_req $ id_arg $ epoch_arg)
+
 (* --- trace inspection ------------------------------------------------------------- *)
 
 let trace_file_arg =
@@ -561,6 +843,7 @@ let () =
           [
             list_cmd;
             analyze_cmd;
+            worker_cmd;
             predicate_cmd;
             replay_cmd;
             show_cmd;

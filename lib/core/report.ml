@@ -46,7 +46,7 @@ let pp_coverage fmt (c : Search.coverage) =
   (match c.Search.failed_shards with
   | [] -> ()
   | failed ->
-      Format.fprintf fmt "  failed shards   %s@,"
+      Format.fprintf fmt "  uncovered shards %s@,"
         (String.concat ", " (List.map string_of_int failed)));
   if c.Search.shard_retry_attempts > 0 then
     Format.fprintf fmt "  shard retries   %d@," c.Search.shard_retry_attempts;

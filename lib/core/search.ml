@@ -827,15 +827,19 @@ module String_set = Set.Make (String)
 (* --- shard checkpoints ------------------------------------------------------
 
    Each completed shard's event log is flushed to its own file, written to a
-   temporary name and renamed — atomic on POSIX — so a run killed at any
-   moment (including SIGKILL) leaves only whole shard files behind.
-   [resume] then re-explores exactly the missing shards: because every
-   shard task replays the same fresh-variable base and owns disjoint
-   routes, a merge of loaded and re-explored shards is indistinguishable
-   from an uninterrupted run (the determinism guarantee extends across
-   process boundaries). *)
+   temporary name, fsynced, and renamed — atomic on POSIX — with the
+   containing directory fsynced after the rename, so a run killed at any
+   moment (including SIGKILL or power loss) leaves only whole, durable
+   shard files behind. The payload carries its own digest: a torn or
+   bit-rotted file is detected on load and treated as missing (the shard is
+   re-explored with a warning), never trusted and never fatal. [resume]
+   then re-explores exactly the missing shards: because every shard task
+   replays the same fresh-variable base and owns disjoint routes, a merge
+   of loaded and re-explored shards is indistinguishable from an
+   uninterrupted run (the determinism guarantee extends across process
+   boundaries). *)
 
-let ckpt_magic = "ACHILLES-CKPT-1"
+let ckpt_magic = "ACHILLES-CKPT-2"
 
 (* Identity of a run for resume purposes: everything that changes the shard
    decomposition or per-shard event logs. Closure-valued config fields
@@ -877,16 +881,41 @@ let run_fingerprint ~bits ~config ~client ~server =
 let shard_file dir idx =
   Filename.concat dir (Printf.sprintf "shard-%04d.ckpt" idx)
 
-let write_shard_checkpoint ~dir ~fingerprint ~idx (recorder, counter) =
+(* Flush [fd], then its durability: an atomic rename only orders the
+   *names*; the bytes (and the new directory entry) still have to reach the
+   platter before a crash may assume the checkpoint exists. Filesystems
+   that refuse fsync on directories (some network mounts) degrade to the
+   rename-only guarantee. *)
+let fsync_noerr fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      fsync_noerr fd;
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let write_checkpoint_file ~file ~fingerprint ~idx (recorder, counter) =
   Obs.span Obs.Checkpoint_io @@ fun () ->
   if Obs.live () then
     Obs.emit ~kind:"checkpoint" ~name:"write" ~args:[ ("index", Obs.I idx) ] ();
-  let path = shard_file dir idx in
-  let tmp = Printf.sprintf "%s.tmp.%d" path idx in
+  (* pid-qualified temp name: two processes racing the same shard (a
+     presumed-dead worker and its replacement) must never interleave writes
+     into one temp file *)
+  let tmp = Printf.sprintf "%s.tmp.%d.%d" file (Unix.getpid ()) idx in
+  let payload = Marshal.to_string (recorder, counter) [] in
   let oc = open_out_bin tmp in
-  Marshal.to_channel oc (ckpt_magic, fingerprint, idx, recorder, counter) [];
+  Marshal.to_channel oc
+    (ckpt_magic, fingerprint, idx, Digest.string payload, payload)
+    [];
+  flush oc;
+  fsync_noerr (Unix.descr_of_out_channel oc);
   close_out oc;
-  Sys.rename tmp path
+  Sys.rename tmp file;
+  fsync_dir (Filename.dirname file)
+
+let write_shard_checkpoint ~dir ~fingerprint ~idx out =
+  write_checkpoint_file ~file:(shard_file dir idx) ~fingerprint ~idx out
 
 (* Terms revived by [Marshal] bypassed the smart constructors: their node
    ids belong to the (dead) process that wrote the checkpoint and may
@@ -909,31 +938,94 @@ let rebuild_recorder r =
       r.rec_drops;
   r
 
-let load_shard_checkpoint ~dir ~fingerprint ~idx : (recorder * int) option =
+(* A checkpoint that fails any validation step — bad magic, wrong
+   fingerprint or index, short read, payload digest mismatch, Marshal
+   failure — is treated as missing: the shard is recomputed. A killed or
+   corrupted writer must degrade [--resume] to extra work, never crash it
+   or poison the merge. *)
+let load_checkpoint_file ~file ~fingerprint ~idx : (recorder * int) option =
   Obs.span Obs.Checkpoint_io @@ fun () ->
   if Obs.live () then
     Obs.emit ~kind:"checkpoint" ~name:"load" ~args:[ ("index", Obs.I idx) ] ();
-  let path = shard_file dir idx in
-  if not (Sys.file_exists path) then None
-  else
+  if not (Sys.file_exists file) then None
+  else begin
+    let corrupt reason =
+      Printf.eprintf
+        "achilles: warning: ignoring corrupt shard checkpoint %s (%s); \
+         re-exploring shard %d\n\
+         %!"
+        file reason idx;
+      Obs.count "checkpoint.corrupt";
+      Obs.emit ~kind:"checkpoint" ~name:"corrupt"
+        ~args:
+          [
+            ("index", Obs.I idx);
+            ("file", Obs.S file);
+            ("reason", Obs.S reason);
+          ]
+        ();
+      None
+    in
     match
-      let ic = open_in_bin path in
+      let ic = open_in_bin file in
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
-          (Marshal.from_channel ic : string * string * int * recorder * int))
+          (Marshal.from_channel ic
+            : string * string * int * Digest.t * string))
     with
-    | magic, fp, i, r, c when magic = ckpt_magic && fp = fingerprint && i = idx
+    | exception _ -> corrupt "unreadable header (torn or foreign file)"
+    | magic, _, _, _, _ when magic <> ckpt_magic -> corrupt "bad magic"
+    | _, fp, _, _, _ when fp <> fingerprint -> corrupt "fingerprint mismatch"
+    | _, _, i, _, _ when i <> idx -> corrupt "shard index mismatch"
+    | _, _, _, digest, payload when not (Digest.equal digest (Digest.string payload))
       ->
-        Some (rebuild_recorder r, c)
-    | _ -> None
-    | exception _ -> None (* torn or foreign file: re-explore the shard *)
+        corrupt "payload digest mismatch"
+    | _, _, _, _, payload -> (
+        match (Marshal.from_string payload 0 : recorder * int) with
+        | r, c -> Some (rebuild_recorder r, c)
+        | exception _ -> corrupt "payload unmarshal failure")
+  end
+
+let load_shard_checkpoint ~dir ~fingerprint ~idx =
+  load_checkpoint_file ~file:(shard_file dir idx) ~fingerprint ~idx
+
+(* A writer killed between creating its temp file and the rename leaves the
+   temp behind; left alone, those accumulate and (worse) a matching-name
+   temp from a dead pid could be confused for live work. Startup owns the
+   directory (single run per dir), so any [*.tmp.*] is garbage by
+   definition. *)
+let clean_stale_tmp_files dir =
+  Array.iter
+    (fun name ->
+      let full = Filename.concat dir name in
+      let is_tmp =
+        (* shard-NNNN.ckpt.tmp.<pid>.<idx> (and the pre-durability
+           shard-NNNN.ckpt.tmp.<idx> form) *)
+        match String.index_opt name '.' with
+        | None -> false
+        | Some _ ->
+            String.length name > 4
+            &&
+            let rec find_sub i =
+              if i + 5 > String.length name then false
+              else if String.sub name i 5 = ".tmp." then true
+              else find_sub (i + 1)
+            in
+            find_sub 0
+      in
+      if is_tmp && not (Sys.is_directory full) then begin
+        Obs.count "checkpoint.stale_tmp_removed";
+        (try Sys.remove full with Sys_error _ -> ())
+      end)
+    (try Sys.readdir dir with Sys_error _ -> [||])
 
 let ensure_checkpoint_dir dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
   else if not (Sys.is_directory dir) then
     invalid_arg
       (Printf.sprintf "Search: checkpoint dir %S is not a directory" dir)
+  else clean_stale_tmp_files dir
 
 let ceil_log2 n =
   let rec go b = if 1 lsl b >= n then b else go (b + 1) in
@@ -946,144 +1038,31 @@ let split_bits_of config =
       b
   | None -> min 8 (ceil_log2 config.domains + 2)
 
-let run_parallel ~config ~different_from ~client ~server ~started =
-  (* One main-domain span covering sharding, pool execution and the merge:
-     worker domains open their own nested Server_se spans per shard. *)
-  Obs.span Obs.Server_se @@ fun () ->
-  let bits = split_bits_of config in
-  let n_tasks = 1 lsl bits in
-  let base = Term.fresh_counter_value () in
-  let fingerprint =
-    match config.checkpoint_dir with
-    | Some dir ->
-        ensure_checkpoint_dir dir;
-        run_fingerprint ~bits ~config ~client ~server
-    | None -> ""
-  in
-  let loaded =
-    Array.init n_tasks (fun idx ->
-        match config.checkpoint_dir with
-        | Some dir when config.resume ->
-            load_shard_checkpoint ~dir ~fingerprint ~idx
-        | _ -> None)
-  in
-  let abandoned = Atomic.make 0 in
-  let attempts_seen = Array.make n_tasks 0 in
-  let task idx =
-    (* [attempts_seen.(idx)] is touched only by the worker currently running
-       shard [idx] — retries happen in place on that same worker. *)
-    let attempt = attempts_seen.(idx) in
-    attempts_seen.(idx) <- attempt + 1;
-    if Obs.live () then
-      Obs.emit ~kind:"shard" ~name:(if attempt = 0 then "start" else "retry")
-        ~args:[ ("index", Obs.I idx); ("attempt", Obs.I attempt) ]
-        ();
-    (match config.chaos with
-    | Some hook -> hook ~shard_index:idx ~attempt
-    | None -> ());
-    if config.cancel () then None
-    else begin
-      let shard = { Interp.shard_index = idx; Interp.shard_bits = bits } in
-      (* replay the sequential fresh-variable id sequence inside this shard *)
-      Term.set_fresh_counter base;
-      Solver.set_budget config.solver_budget;
-      let solver_stats = Solver.stats () in
-      let exhaustions0 = solver_stats.Solver.budget_exhaustions in
-      let faults0 = solver_stats.Solver.injected_faults in
-      let recorder = fresh_recorder () in
-      let ctx =
-        make_ctx ~config ~client ~different_from ~shard:(Some shard)
-          ~recorder:(Some recorder) ~started
-      in
-      let iconfig = { config.interp with Interp.shard = Some shard } in
-      Obs.span Obs.Server_se (fun () ->
-          ignore (Interp.run ~config:iconfig ~hooks:(hooks_of ctx) server));
-      ignore (Atomic.fetch_and_add abandoned ctx.n_abandoned);
-      if config.cancel () then begin
-        (* the event log is partial: neither checkpoint nor merge it *)
-        if Obs.live () then
-          Obs.emit ~kind:"shard" ~name:"cancelled"
-            ~args:[ ("index", Obs.I idx) ]
-            ();
-        None
-      end
-      else begin
-        recorder.rec_unknown_alive <- ctx.n_unknown_alive;
-        recorder.rec_unknown_prune <- ctx.n_unknown_prune;
-        recorder.rec_unknown_witness <- ctx.n_unknown_witness;
-        recorder.rec_exhaustions <-
-          solver_stats.Solver.budget_exhaustions - exhaustions0;
-        recorder.rec_faults <- solver_stats.Solver.injected_faults - faults0;
-        let out = (recorder, Term.fresh_counter_value ()) in
-        (match config.checkpoint_dir with
-        | Some dir -> write_shard_checkpoint ~dir ~fingerprint ~idx out
-        | None -> ());
-        if Obs.live () then
-          Obs.emit ~kind:"shard" ~name:"done"
-            ~args:[ ("index", Obs.I idx); ("attempt", Obs.I attempt) ]
-            ();
-        Some out
-      end
-    end
-  in
-  let missing =
-    Array.of_list
-      (List.filter
-         (fun idx -> loaded.(idx) = None)
-         (List.init n_tasks Fun.id))
-  in
-  let outcomes =
-    if Array.length missing = 0 then [||]
-    else
-      Pool.with_pool ~domains:config.domains (fun pool ->
-          Pool.map_with_retries ~retries:config.shard_retries
-            ~backoff:config.shard_backoff pool task missing)
-  in
-  let shard_results =
-    Array.map
-      (function Some out -> `Done (out, true) | None -> `Missing)
-      loaded
-  in
-  Array.iteri
-    (fun k idx ->
-      match outcomes.(k).Pool.result with
-      | Ok (Some out) -> shard_results.(idx) <- `Done (out, false)
-      | Ok None -> () (* cancelled before completing: stays missing *)
-      | Error _ ->
-          if Obs.live () then
-            Obs.emit ~kind:"shard" ~name:"failed"
-              ~args:[ ("index", Obs.I idx) ]
-              ();
-          shard_results.(idx) <- `Failed)
-    missing;
-  let outs_resumed =
-    List.filter_map
-      (function `Done (out, resumed) -> Some (out, resumed) | _ -> None)
-      (Array.to_list shard_results)
-  in
+(* Deterministic merge of disjoint shard event logs into a report:
+   concatenate, sort by route (lexicographic route order = sequential
+   depth-first creation order), and renumber state ids by route rank. The
+   in-process pool and the multi-process coordinator both end here — which
+   is what makes the final report digest independent of worker count,
+   kills, lease reassignments and resume history. *)
+let merge_outs ~total ~base ~started ~outs_resumed ~failed_shards
+    ~retry_attempts ~interrupted ~abandoned =
   let outs = List.map fst outs_resumed in
-  let failed_shards =
-    List.filter_map Fun.id
-      (List.init n_tasks (fun idx ->
-           match shard_results.(idx) with `Failed -> Some idx | _ -> None))
-  in
   let sum f = List.fold_left (fun acc (r, _) -> acc + f r) 0 outs in
   let agg = Solver.aggregate_stats () in
   let coverage =
     {
-      total_shards = n_tasks;
+      total_shards = total;
       completed_shards = List.length outs;
       failed_shards;
       resumed_shards = List.length (List.filter snd outs_resumed);
-      shard_retry_attempts =
-        Array.fold_left (fun acc o -> acc + o.Pool.attempts - 1) 0 outcomes;
-      interrupted = config.cancel ();
+      shard_retry_attempts = retry_attempts;
+      interrupted;
       unknown_alive = sum (fun r -> r.rec_unknown_alive);
       unknown_prune = sum (fun r -> r.rec_unknown_prune);
       unknown_witness = sum (fun r -> r.rec_unknown_witness);
       budget_exhaustions = sum (fun r -> r.rec_exhaustions);
       injected_faults = sum (fun r -> r.rec_faults);
-      abandoned_states = Atomic.get abandoned;
+      abandoned_states = abandoned;
       solver_cache_entries = Solver.aggregate_cache_entries ();
       solver_cache_evictions = agg.Solver.cache_evictions;
       solver_cache_hits = agg.Solver.cache_hits;
@@ -1205,8 +1184,164 @@ let run_parallel ~config ~different_from ~client ~server ~started =
   in
   { trojans; accepting; drops; search_stats = stats; coverage }
 
+(* Run one route shard to completion in the calling domain: replay the
+   sequential fresh-variable id sequence from [base], explore the shard's
+   subtrees, and return the completed event log plus the states abandoned
+   to cancellation. [None] when the cooperative cancel fired — a partial
+   event log must neither be checkpointed nor merged. This is the unit of
+   work a distributed worker process executes for one lease. *)
+let explore_shard ~config ~different_from ~client ~server ~bits ~base ~started
+    idx =
+  let shard = { Interp.shard_index = idx; Interp.shard_bits = bits } in
+  Term.set_fresh_counter base;
+  Solver.set_budget config.solver_budget;
+  let solver_stats = Solver.stats () in
+  let exhaustions0 = solver_stats.Solver.budget_exhaustions in
+  let faults0 = solver_stats.Solver.injected_faults in
+  let recorder = fresh_recorder () in
+  let ctx =
+    make_ctx ~config ~client ~different_from ~shard:(Some shard)
+      ~recorder:(Some recorder) ~started
+  in
+  let iconfig = { config.interp with Interp.shard = Some shard } in
+  Obs.span Obs.Server_se (fun () ->
+      ignore (Interp.run ~config:iconfig ~hooks:(hooks_of ctx) server));
+  if config.cancel () then (None, ctx.n_abandoned)
+  else begin
+    recorder.rec_unknown_alive <- ctx.n_unknown_alive;
+    recorder.rec_unknown_prune <- ctx.n_unknown_prune;
+    recorder.rec_unknown_witness <- ctx.n_unknown_witness;
+    recorder.rec_exhaustions <-
+      solver_stats.Solver.budget_exhaustions - exhaustions0;
+    recorder.rec_faults <- solver_stats.Solver.injected_faults - faults0;
+    (Some (recorder, Term.fresh_counter_value ()), ctx.n_abandoned)
+  end
+
+let run_parallel ~config ~different_from ~client ~server ~started =
+  (* One main-domain span covering sharding, pool execution and the merge:
+     worker domains open their own nested Server_se spans per shard. *)
+  Obs.span Obs.Server_se @@ fun () ->
+  let bits = split_bits_of config in
+  let n_tasks = 1 lsl bits in
+  let base = Term.fresh_counter_value () in
+  let fingerprint =
+    match config.checkpoint_dir with
+    | Some dir ->
+        ensure_checkpoint_dir dir;
+        run_fingerprint ~bits ~config ~client ~server
+    | None -> ""
+  in
+  let loaded =
+    Array.init n_tasks (fun idx ->
+        match config.checkpoint_dir with
+        | Some dir when config.resume ->
+            load_shard_checkpoint ~dir ~fingerprint ~idx
+        | _ -> None)
+  in
+  let abandoned = Atomic.make 0 in
+  let attempts_seen = Array.make n_tasks 0 in
+  let task idx =
+    (* [attempts_seen.(idx)] is touched only by the worker currently running
+       shard [idx] — retries happen in place on that same worker. *)
+    let attempt = attempts_seen.(idx) in
+    attempts_seen.(idx) <- attempt + 1;
+    if Obs.live () then
+      Obs.emit ~kind:"shard" ~name:(if attempt = 0 then "start" else "retry")
+        ~args:[ ("index", Obs.I idx); ("attempt", Obs.I attempt) ]
+        ();
+    (match config.chaos with
+    | Some hook -> hook ~shard_index:idx ~attempt
+    | None -> ());
+    if config.cancel () then None
+    else begin
+      let out, n_abandoned =
+        explore_shard ~config ~different_from ~client ~server ~bits ~base
+          ~started idx
+      in
+      ignore (Atomic.fetch_and_add abandoned n_abandoned);
+      match out with
+      | None ->
+          (* the event log is partial: neither checkpoint nor merge it *)
+          if Obs.live () then
+            Obs.emit ~kind:"shard" ~name:"cancelled"
+              ~args:[ ("index", Obs.I idx) ]
+              ();
+          None
+      | Some out ->
+          (match config.checkpoint_dir with
+          | Some dir -> write_shard_checkpoint ~dir ~fingerprint ~idx out
+          | None -> ());
+          if Obs.live () then
+            Obs.emit ~kind:"shard" ~name:"done"
+              ~args:[ ("index", Obs.I idx); ("attempt", Obs.I attempt) ]
+              ();
+          Some out
+    end
+  in
+  let missing =
+    Array.of_list
+      (List.filter
+         (fun idx -> loaded.(idx) = None)
+         (List.init n_tasks Fun.id))
+  in
+  let outcomes =
+    if Array.length missing = 0 then [||]
+    else
+      Pool.with_pool ~domains:config.domains (fun pool ->
+          Pool.map_with_retries ~retries:config.shard_retries
+            ~backoff:config.shard_backoff pool task missing)
+  in
+  let shard_results =
+    Array.map
+      (function Some out -> `Done (out, true) | None -> `Missing)
+      loaded
+  in
+  Array.iteri
+    (fun k idx ->
+      match outcomes.(k).Pool.result with
+      | Ok (Some out) -> shard_results.(idx) <- `Done (out, false)
+      | Ok None -> () (* cancelled before completing: stays missing *)
+      | Error _ ->
+          if Obs.live () then
+            Obs.emit ~kind:"shard" ~name:"failed"
+              ~args:[ ("index", Obs.I idx) ]
+              ();
+          shard_results.(idx) <- `Failed)
+    missing;
+  let outs_resumed =
+    List.filter_map
+      (function `Done (out, resumed) -> Some (out, resumed) | _ -> None)
+      (Array.to_list shard_results)
+  in
+  let failed_shards =
+    List.filter_map Fun.id
+      (List.init n_tasks (fun idx ->
+           match shard_results.(idx) with `Failed -> Some idx | _ -> None))
+  in
+  merge_outs ~total:n_tasks ~base ~started ~outs_resumed ~failed_shards
+    ~retry_attempts:
+      (Array.fold_left (fun acc o -> acc + o.Pool.attempts - 1) 0 outcomes)
+    ~interrupted:(config.cancel ()) ~abandoned:(Atomic.get abandoned)
+
 let run ?(config = default_config) ?different_from ~client ~server () =
   let started = Unix.gettimeofday () in
   if config.domains <= 1 && config.checkpoint_dir = None && not config.resume
   then run_sequential ~config ~different_from ~client ~server ~started
   else run_parallel ~config ~different_from ~client ~server ~started
+
+(* The shard-level surface the multi-process coordinator/worker protocol
+   ([Achilles_dist]) is built on: explore one leased shard, persist or load
+   its event log as a durable checkpoint file, and merge disjoint logs into
+   the canonical report. Everything here is exactly what the in-process
+   parallel mode uses, so the two modes cannot drift. *)
+module Shards = struct
+  type out = recorder * int
+
+  let split_bits = split_bits_of
+  let fingerprint = run_fingerprint
+  let prepare_dir = ensure_checkpoint_dir
+  let explore = explore_shard
+  let write = write_checkpoint_file
+  let load = load_checkpoint_file
+  let merge = merge_outs
+end

@@ -184,3 +184,75 @@ val minimize_witness : trojan -> Bv.t array
 (** A witness for the same Trojan expression with greedily as many zero
     bytes as the expression allows — easier to read and to diff against
     valid traffic when preparing fire-drill payloads. *)
+
+(** {1 Distributed-search support}
+
+    The shard-level building blocks the multi-process coordinator/worker
+    protocol ([Achilles_dist]) runs on. A worker process calls {!Shards.explore}
+    for each shard it leases and persists the result with {!Shards.write};
+    the coordinator validates completed checkpoints with {!Shards.load} and
+    assembles the final report with {!Shards.merge} — the same merge the
+    in-process parallel mode uses, so a distributed run's report digest is
+    byte-identical to a single-process run regardless of worker count,
+    kills, or lease reassignments. *)
+module Shards : sig
+  type out
+  (** One completed shard's event log plus its final fresh-variable
+      counter. Opaque: produced by {!explore} or {!load}, consumed by
+      {!write} and {!merge}. *)
+
+  val split_bits : config -> int
+  (** The shard decomposition the config implies ([2^bits] shards). *)
+
+  val fingerprint :
+    bits:int ->
+    config:config ->
+    client:Predicate.client_predicate ->
+    server:Ast.program ->
+    string
+  (** Identity of a run for checkpoint-reuse purposes (see the resume
+      caveats in the config docs): a checkpoint written under a different
+      fingerprint is never merged. *)
+
+  val prepare_dir : string -> unit
+  (** Create the directory if needed and delete stale [*.tmp.*] leftovers
+      from killed writers. Call once per run, before any worker writes. *)
+
+  val explore :
+    config:config ->
+    different_from:Different_from.t option ->
+    client:Predicate.client_predicate ->
+    server:Ast.program ->
+    bits:int ->
+    base:int ->
+    started:float ->
+    int ->
+    out option * int
+  (** [explore ... idx] runs shard [idx] to completion in the calling
+      domain, replaying the fresh-variable sequence from [base]. Returns
+      [(None, abandoned)] when [config.cancel] fired mid-shard — a partial
+      log must neither be written nor merged. *)
+
+  val write : file:string -> fingerprint:string -> idx:int -> out -> unit
+  (** Durable atomic checkpoint: marshal to a pid-qualified temp file,
+      fsync, rename into place, fsync the directory. *)
+
+  val load : file:string -> fingerprint:string -> idx:int -> out option
+  (** [None] if the file is missing, torn, corrupt (payload digest
+      mismatch), or belongs to a different run or shard — with a warning
+      and a ["checkpoint.corrupt"] count for everything but absence. *)
+
+  val merge :
+    total:int ->
+    base:int ->
+    started:float ->
+    outs_resumed:(out * bool) list ->
+    failed_shards:int list ->
+    retry_attempts:int ->
+    interrupted:bool ->
+    abandoned:int ->
+    report
+  (** Deterministic merge of disjoint shard logs ([resumed] flags feed the
+      coverage block). [failed_shards] are reported as uncovered — never
+      silently dropped. *)
+end

@@ -1,0 +1,69 @@
+(** The worker side of the multi-process search.
+
+    A worker attaches to a coordinator's work directory, announces itself,
+    and loops: request a shard, run it through the existing
+    {!Achilles_core.Search.Shards} pipeline, persist the result as a
+    token-suffixed atomic checkpoint, report completion, repeat — until the
+    coordinator drains it, the run is cancelled (SIGINT/SIGTERM in the
+    worker process), or the coordinator goes silent past the orphan
+    timeout.
+
+    Heartbeats piggyback on the search's cancellation poll (called at
+    every branch constraint), so a worker wedged inside one solver query
+    stops heartbeating and loses its lease — by design. *)
+
+type job = {
+  j_config : Achilles_core.Search.config;
+  j_different_from : Achilles_core.Different_from.t option;
+  j_client : Achilles_core.Predicate.client_predicate;
+  j_server : Achilles_symvm.Ast.program;
+  j_bits : int; (* 2^bits route shards *)
+  j_base : int; (* fresh-variable counter base, replayed per shard *)
+  j_fingerprint : string; (* run identity; checkpoints are keyed on it *)
+}
+
+val job_of :
+  config:Achilles_core.Search.config ->
+  ?different_from:Achilles_core.Different_from.t ->
+  client:Achilles_core.Predicate.client_predicate ->
+  server:Achilles_symvm.Ast.program ->
+  unit ->
+  job
+(** Derive [bits], [base] (the {e current} fresh counter — call at the
+    same point a single-process run would start searching) and the
+    fingerprint from the inputs. Every process of a run must construct
+    the same job from the same inputs; the fingerprint check catches
+    drift. *)
+
+type params = {
+  heartbeat_interval : float;
+  poll_sleep : float;
+  orphan_timeout : float;
+  fault_rate : float;
+  fault_seed : int;
+}
+
+val params_of_env : unit -> params
+(** Defaults, overridable via [ACHILLES_HEARTBEAT_INTERVAL] (0.5 s),
+    [ACHILLES_WORKER_ORPHAN_TIMEOUT] (30 s), [ACHILLES_WORKER_FAULT_RATE]
+    (0: per-heartbeat-tick death probability), and
+    [ACHILLES_WORKER_FAULT_SEED]. *)
+
+exception Killed
+(** Raised by the in-process [die] used in tests/benchmarks to simulate
+    SIGKILL at poll granularity without taking the host process down. *)
+
+val run :
+  workdir:string ->
+  wid:int ->
+  ?epoch:int ->
+  ?params:params ->
+  ?die:(unit -> unit) ->
+  job:job ->
+  unit ->
+  unit
+(** Run the worker loop until drain / cancellation / orphan exit.
+    [epoch] is the respawn count, mixed into the fault PRNG so a
+    respawned worker does not die at the same poll forever. [die]
+    defaults to [Unix._exit 137] (a real process death); in-process
+    workers pass [fun () -> raise Killed]. *)

@@ -11,6 +11,7 @@ type phase =
   | Bitblast
   | Checkpoint_io
   | Report
+  | Dist
 
 let all_phases =
   [
@@ -22,6 +23,7 @@ let all_phases =
     Bitblast;
     Checkpoint_io;
     Report;
+    Dist;
   ]
 
 let phase_name = function
@@ -33,6 +35,7 @@ let phase_name = function
   | Bitblast -> "bitblast"
   | Checkpoint_io -> "checkpoint_io"
   | Report -> "report"
+  | Dist -> "dist"
 
 let phase_of_name s = List.find_opt (fun p -> phase_name p = s) all_phases
 
@@ -45,6 +48,7 @@ let phase_index = function
   | Bitblast -> 5
   | Checkpoint_io -> 6
   | Report -> 7
+  | Dist -> 8
 
 let n_phases = List.length all_phases
 

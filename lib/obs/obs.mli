@@ -27,6 +27,7 @@ type phase =
   | Bitblast         (** term -> CNF translation inside a solver query *)
   | Checkpoint_io    (** shard checkpoint write/load *)
   | Report           (** report rendering *)
+  | Dist             (** coordinator/worker lease protocol and idle time *)
 
 val all_phases : phase list
 
