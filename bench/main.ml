@@ -1324,6 +1324,164 @@ let experiment_dist () =
     exit 1
   end
 
+(* --- E17: serving compiled filters — line rate vs per-message re-analysis ---- *)
+
+(* The deployment story of the paper's output: the extracted [not PC] is only
+   useful if a server front end can check it on every incoming message. E17
+   measures the compiled decision-DAG filter against the naive alternative —
+   re-interpret the message concretely ([Symvm.Concrete]) and, when the
+   server accepts it, re-run the solver on the accepting state's Trojan
+   query — and asserts the filter's verdicts agree with the naive path on a
+   sampled subset. *)
+
+module Filter = Achilles_filter.Filter
+
+let experiment_serve () =
+  banner "E17: compiled-filter serving rate";
+  let analysis, _ = Lazy.force fsp_analysis in
+  let report = analysis.Achilles.report in
+  let filter, compile_s =
+    fresh_measurement (fun () ->
+        Filter.compile ~target:"fsp" ~layout:Fsp_model.layout ~report ())
+  in
+  Format.printf "  compiled in %.3fs: %a@." compile_s Filter.pp_summary filter;
+  let size = Filter.message_size filter in
+  let witnesses =
+    List.filter_map
+      (fun (t : Search.trojan) ->
+        if t.Search.confirmed then
+          Some (Array.map Bv.to_int t.Search.witness)
+        else None)
+      report.Search.trojans
+    |> Array.of_list
+  in
+  assert (Array.length witnesses > 0);
+  (* workload: 1/3 exact witnesses, 1/3 witness mutants (which keep enough
+     structure to reach accepting states), 1/3 uniform noise *)
+  let rng = Random.State.make [| 0x5e17 |] in
+  let workload n =
+    Array.init n (fun i ->
+        let pick () =
+          Array.copy witnesses.(Random.State.int rng (Array.length witnesses))
+        in
+        match i mod 3 with
+        | 0 -> pick ()
+        | 1 ->
+            let m = pick () in
+            for _ = 1 to 1 + Random.State.int rng 3 do
+              m.(Random.State.int rng size) <- Random.State.int rng 256
+            done;
+            m
+        | _ -> Array.init size (fun _ -> Random.State.int rng 256))
+  in
+  (* the naive path: concrete server execution, then the solver on the
+     surviving messages' Trojan queries — same decision, per message *)
+  let queries = Search.trojan_queries report in
+  let baseline_verdict m =
+    let outcome =
+      Concrete.run
+        ~incoming:[ Array.map (fun b -> Bv.of_int ~width:8 b) m ]
+        Fsp_model.server
+    in
+    if not (Concrete.accepted outcome) then Filter.Accept
+    else
+      let rec scan = function
+        | [] -> Filter.Accept
+        | ((sp : Predicate.server_path), query) :: rest -> (
+            match query with
+            | None -> scan rest
+            | Some terms ->
+                let byte_of = Hashtbl.create 32 in
+                Array.iteri
+                  (fun i (v : Term.var) ->
+                    Hashtbl.replace byte_of v.Term.id i)
+                  sp.Predicate.msg_vars;
+                let model =
+                  Model.of_list
+                    (Array.to_list
+                       (Array.mapi
+                          (fun i v -> (v, Model.Vbv (Bv.of_int ~width:8 m.(i))))
+                          sp.Predicate.msg_vars))
+                in
+                let pure, auxed =
+                  List.partition
+                    (fun t ->
+                      List.for_all
+                        (fun id -> Hashtbl.mem byte_of id)
+                        (Term.var_ids t))
+                    terms
+                in
+                if not (List.for_all (Model.eval_bool model) pure) then
+                  scan rest
+                else if auxed = [] then
+                  Filter.Trojan_suspect sp.Predicate.sp_state_id
+                else
+                  let bind (v : Term.var) =
+                    match Hashtbl.find_opt byte_of v.Term.id with
+                    | Some i ->
+                        Some (Term.const (Bv.of_int ~width:8 m.(i)))
+                    | None -> None
+                  in
+                  (match Solver.check (List.map (Term.subst bind) auxed) with
+                  | Solver.Sat _ ->
+                      Filter.Trojan_suspect sp.Predicate.sp_state_id
+                  | Solver.Unsat -> scan rest
+                  | Solver.Unknown -> Filter.Unknown_state))
+      in
+      scan queries
+  in
+  let n_filter = if !quick then 50_000 else 200_000 in
+  let n_baseline = if !quick then 200 else 600 in
+  let filter_msgs =
+    Array.map
+      (fun m -> Bytes.init size (fun i -> Char.chr m.(i)))
+      (workload n_filter)
+  in
+  let baseline_msgs = workload n_baseline in
+  let ev = Filter.evaluator filter in
+  let (), filter_s =
+    fresh_measurement (fun () ->
+        Array.iter (fun b -> ignore (Filter.verdict_bytes ev b)) filter_msgs)
+  in
+  let baseline_results, baseline_s =
+    fresh_measurement (fun () -> Array.map baseline_verdict baseline_msgs)
+  in
+  (* agreement on the sampled subset: compilation changed no verdict *)
+  let mismatches = ref 0 in
+  Array.iteri
+    (fun i m ->
+      let bytes = Bytes.init size (fun j -> Char.chr m.(j)) in
+      if Filter.verdict_bytes ev bytes <> baseline_results.(i) then
+        incr mismatches)
+    baseline_msgs;
+  let filter_rate = float_of_int n_filter /. filter_s in
+  let baseline_rate = float_of_int n_baseline /. baseline_s in
+  let speedup = filter_rate /. baseline_rate in
+  Format.printf "  filter:    %d messages in %.3fs = %s msgs/s@." n_filter
+    filter_s
+    (Printf.sprintf "%.0f" filter_rate);
+  Format.printf "  baseline:  %d messages in %.3fs = %s msgs/s@." n_baseline
+    baseline_s
+    (Printf.sprintf "%.0f" baseline_rate);
+  Format.printf "  speedup:   %.0fx; %d/%d verdicts disagree@." speedup
+    !mismatches n_baseline;
+  write_csv "serve.csv" "mode,messages,seconds,msgs_per_sec,speedup_vs_baseline"
+    [
+      Printf.sprintf "filter,%d,%.4f,%.0f,%.1f" n_filter filter_s filter_rate
+        speedup;
+      Printf.sprintf "baseline,%d,%.4f,%.0f,1.0" n_baseline baseline_s
+        baseline_rate;
+    ];
+  if !mismatches > 0 then begin
+    Format.eprintf "serve: filter and baseline verdicts diverged@.";
+    exit 1
+  end;
+  if speedup < 10. then begin
+    Format.eprintf "serve: expected >= 10x over the naive baseline, got %.1fx@."
+      speedup;
+    exit 1
+  end
+
 (* --- driver ------------------------------------------------------------------------------------- *)
 
 let experiments =
@@ -1344,6 +1502,7 @@ let experiments =
     ("profile", experiment_profile);
     ("incremental", experiment_incremental);
     ("dist", experiment_dist);
+    ("serve", experiment_serve);
   ]
 
 let () =

@@ -21,6 +21,9 @@ type target = {
   server : Ast.program;
   default_mask : string list option;
   interp : Interp.config;
+  client_interp : Interp.config option;
+      (* client-extraction interpreter when it differs from the default
+         (e.g. a concrete local-state scenario for the clients) *)
   distinct_by : (Bv.t array -> Smt_term.var array -> Smt_term.t) option;
 }
 
@@ -34,6 +37,7 @@ let targets =
       server = Rw_example.server;
       default_mask = Some [ "address" ];
       interp = Interp.default_config;
+      client_interp = None;
       distinct_by = None;
     };
     {
@@ -44,6 +48,7 @@ let targets =
       server = Fsp_model.server;
       default_mask = Some Fsp_model.analysis_mask;
       interp = Interp.default_config;
+      client_interp = None;
       distinct_by = Some Fsp_model.block_class;
     };
     {
@@ -54,6 +59,7 @@ let targets =
       server = Fsp_model.server;
       default_mask = Some Fsp_model.analysis_mask;
       interp = Interp.default_config;
+      client_interp = None;
       distinct_by = None;
     };
     {
@@ -66,6 +72,7 @@ let targets =
       interp =
         Local_state.over_approximate ~vars:[ ("last_rid", 16) ]
           Interp.default_config;
+      client_interp = None;
       distinct_by = None;
     };
     {
@@ -78,6 +85,37 @@ let targets =
       interp =
         Local_state.concrete ~prefix:(Paxos_model.phase1_prefix ~ballot:5)
           Interp.default_config;
+      client_interp = None;
+      distinct_by = None;
+    };
+    {
+      target_name = "kv";
+      description = "key-value store with auto-classified replies (§5)";
+      layout = Kv_model.layout;
+      clients = [ Kv_model.client ];
+      server = Kv_model.server;
+      default_mask = Some Kv_model.analysis_mask;
+      interp =
+        {
+          Interp.default_config with
+          Interp.auto_classify = Some Kv_model.auto_classifier;
+        };
+      client_interp = None;
+      distinct_by = None;
+    };
+    {
+      target_name = "gossip";
+      description = "gossip failure-report aggregator (the S3-outage scenario)";
+      layout = Gossip_model.layout;
+      clients = [ Gossip_model.reporter ];
+      server = Gossip_model.aggregator ~hardened:false ();
+      default_mask = Some Gossip_model.analysis_mask;
+      interp = Interp.default_config;
+      client_interp =
+        Some
+          (Local_state.concrete
+             ~incoming:(List.init 2 (fun _ -> Gossip_model.failure_event))
+             ~prefix:Gossip_model.reporter_prefix Interp.default_config);
       distinct_by = None;
     };
   ]
@@ -343,8 +381,13 @@ let search_config_of_manifest target mf =
 (* Client extraction + differentFrom, then the job record every process of
    the run must agree on. *)
 let dist_job target config =
+  let client_config =
+    match target.client_interp with
+    | Some c -> c
+    | None -> Interp.default_config
+  in
   let client, client_stats =
-    Client_extract.extract ~config:Interp.default_config ~layout:target.layout
+    Client_extract.extract ~config:client_config ~layout:target.layout
       target.clients
   in
   let different_from, different_from_stats =
@@ -499,7 +542,8 @@ let analyze name mask witnesses no_drop no_df no_prune no_incremental verbose
                 Search.cancel = (fun () -> Atomic.get interrupted);
               }
             in
-            Achilles.analyze ~search_config:config ~layout:target.layout
+            Achilles.analyze ~search_config:config
+              ?client_interp:target.client_interp ~layout:target.layout
               ~clients:target.clients ~server:target.server ()
       in
       Obs.span Obs.Report (fun () ->
@@ -565,9 +609,11 @@ let predicate name =
       Format.eprintf "%s@." e;
       1
   | Ok target ->
+      let config =
+        match target.client_interp with Some c -> c | None -> target.interp
+      in
       let pc, stats =
-        Client_extract.extract ~config:target.interp ~layout:target.layout
-          target.clients
+        Client_extract.extract ~config ~layout:target.layout target.clients
       in
       Format.printf "%a@." Predicate.pp_client_predicate pc;
       Format.printf
@@ -592,8 +638,11 @@ let conformance name =
       Format.eprintf "%s@." e;
       1
   | Ok target ->
+      let client_config =
+        match target.client_interp with Some c -> c | None -> target.interp
+      in
       let pc, _ =
-        Client_extract.extract ~config:target.interp ~layout:target.layout
+        Client_extract.extract ~config:client_config ~layout:target.layout
           target.clients
       in
       let report =
@@ -646,7 +695,8 @@ let replay name witnesses =
         }
       in
       let analysis =
-        Achilles.analyze ~search_config:config ~layout:target.layout
+        Achilles.analyze ~search_config:config
+          ?client_interp:target.client_interp ~layout:target.layout
           ~clients:target.clients ~server:target.server ()
       in
       let trojans = Achilles.trojans analysis in
@@ -745,6 +795,330 @@ let worker_cmd =
               unreadable, or names a different run fingerprint.";
          ])
     Term.(const worker $ work_dir_req $ id_arg $ epoch_arg)
+
+(* --- compiled filters and the serve daemon ---------------------------------------- *)
+
+module Filter = Achilles_filter.Filter
+module Daemon = Achilles_filter.Daemon
+
+let hex_of_witness (bytes : Bv.t array) =
+  String.concat ""
+    (Array.to_list (Array.map (fun b -> Printf.sprintf "%02x" (Bv.to_int b)) bytes))
+
+let bytes_of_hex s =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let n = String.length s in
+  if n mod 2 <> 0 then Error (Printf.sprintf "odd-length hex string %S" s)
+  else
+    let out = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n / 2 then Ok out
+      else
+        match (digit s.[2 * i], digit s.[(2 * i) + 1]) with
+        | Some hi, Some lo ->
+            Bytes.set out i (Char.chr ((hi lsl 4) lor lo));
+            go (i + 1)
+        | _ -> Error (Printf.sprintf "not a hex string: %S" s)
+    in
+    go 0
+
+let pp_verdict filter ppf = function
+  | Filter.Accept -> Format.fprintf ppf "accept"
+  | Filter.Trojan_suspect id ->
+      let label =
+        match Filter.state_label filter id with
+        | Some l -> Printf.sprintf " %S" l
+        | None -> ""
+      in
+      Format.fprintf ppf "trojan-suspect state=%d%s" id label
+  | Filter.Unknown_state -> Format.fprintf ppf "unknown-state"
+
+let enum_values_arg =
+  let doc =
+    "Solver model-enumeration budget for irreducible existential residues \
+     (per residue); past it the residue becomes an honest unknown leaf."
+  in
+  Arg.(value & opt int 512 & info [ "enum-values" ] ~docv:"N" ~doc)
+
+let output_filter_arg =
+  let doc = "Output file (default: $(i,TARGET).achfilter)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let print_witness_arg =
+  let doc =
+    "Also print each discovered Trojan witness as a hex string ready for \
+     $(b,filter query) / $(b,filter send) golden checks."
+  in
+  Arg.(value & flag & info [ "print-witnesses" ] ~doc)
+
+let compile_filter name mask witnesses enum_values output print_witnesses =
+  match find_target name with
+  | Error e ->
+      Format.eprintf "%s@." e;
+      1
+  | Ok target -> (
+      let config =
+        {
+          Search.default_config with
+          Search.mask = parse_mask target mask;
+          Search.witnesses_per_path = witnesses;
+          Search.distinct_by = target.distinct_by;
+          Search.interp = target.interp;
+        }
+      in
+      let analysis =
+        Achilles.analyze ~search_config:config
+          ?client_interp:target.client_interp ~layout:target.layout
+          ~clients:target.clients ~server:target.server ()
+      in
+      let filter =
+        Obs.span Obs.Filter_eval (fun () ->
+            Filter.compile ~enum_values ~target:name ~layout:target.layout
+              ~report:analysis.Achilles.report ())
+      in
+      let file =
+        match output with Some f -> f | None -> name ^ ".achfilter"
+      in
+      match Filter.save filter ~file with
+      | Error e ->
+          Format.eprintf "compile-filter: cannot write %s: %s@." file e;
+          1
+      | Ok () ->
+          Format.printf "%a@." Filter.pp_summary filter;
+          Format.printf "wrote %s@." file;
+          if print_witnesses then
+            List.iter
+              (fun (t : Search.trojan) ->
+                Format.printf "witness state=%d %s@." t.Search.server_state_id
+                  (hex_of_witness t.Search.witness))
+              (Achilles.trojans analysis);
+          if Filter.unknown_leaves filter > 0 then
+            Format.printf
+              "note: %d unknown leaves — some messages will answer \
+               unknown-state@."
+              (Filter.unknown_leaves filter);
+          0)
+
+let compile_filter_cmd =
+  Cmd.v
+    (Cmd.info "compile-filter"
+       ~doc:
+         "Analyze a target and compile the per-state Trojan queries \
+          ($(i,not) PC restricted to accepting server paths) into a \
+          self-contained runtime filter")
+    Term.(
+      const compile_filter $ target_arg $ mask_arg $ witnesses_arg
+      $ enum_values_arg $ output_filter_arg $ print_witness_arg)
+
+let filter_file_arg =
+  let doc = "Compiled filter written by $(b,compile-filter)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILTER" ~doc)
+
+let socket_arg =
+  let doc = "Serve on a Unix-domain socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "Serve on TCP $(docv) (HOST:PORT)." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let parse_address socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> Ok (Daemon.Unix_socket path)
+  | None, Some hostport -> (
+      match String.rindex_opt hostport ':' with
+      | None -> Error "--tcp expects HOST:PORT"
+      | Some i -> (
+          let host = String.sub hostport 0 i in
+          let port = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 0x10000 -> Ok (Daemon.Tcp (host, p))
+          | _ -> Error (Printf.sprintf "bad port %S" port)))
+  | None, None | Some _, Some _ ->
+      Error "exactly one of --socket or --tcp is required"
+
+let serve filter_file socket tcp trace =
+  match Filter.load ~file:filter_file with
+  | Error e ->
+      Format.eprintf "serve: %s@." e;
+      1
+  | Ok filter -> (
+      match parse_address socket tcp with
+      | Error e ->
+          Format.eprintf "serve: %s@." e;
+          1
+      | Ok address ->
+          install_signal_handlers ();
+          setup_trace trace;
+          Format.printf "serving %a@." Filter.pp_summary filter;
+          (match address with
+          | Daemon.Unix_socket path -> Format.printf "listening on %s@." path
+          | Daemon.Tcp (host, port) ->
+              Format.printf "listening on %s:%d@." host port);
+          (* readiness marker for scripts: the socket exists once run is
+             entered, but flushing here lets a parent wait on our stdout *)
+          Format.printf "ready@.";
+          flush stdout;
+          Fun.protect ~finally:(fun () -> Obs.Trace.disable ())
+          @@ fun () ->
+          let stats =
+            Daemon.run ~filter ~address
+              ~stop:(fun () -> Atomic.get interrupted)
+              ()
+          in
+          Format.printf "%a@." Daemon.pp_stats stats;
+          0)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a compiled filter as a daemon: length-prefixed messages in, \
+          accept / trojan-suspect / unknown-state verdicts out. SIGTERM or \
+          SIGINT drains and prints verdict statistics."
+       ~man:
+         [
+           `S Cmdliner.Manpage.s_description;
+           `P
+             "Protocol: each request is a 4-byte big-endian length followed \
+              by the raw message bytes; each response is one verdict \
+              character (A/T/U) and a 4-byte big-endian state id \
+              (0xFFFFFFFF when there is none). Frames above 1 MiB drop the \
+              connection.";
+         ])
+    Term.(const serve $ filter_file_arg $ socket_arg $ tcp_arg $ trace_arg)
+
+let filter_info file =
+  match Filter.load ~file with
+  | Error e ->
+      Format.eprintf "filter info: %s@." e;
+      1
+  | Ok filter ->
+      Format.printf "%a@." Filter.pp_summary filter;
+      0
+
+let filter_info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print a compiled filter's summary")
+    Term.(const filter_info $ filter_file_arg)
+
+let hex_messages_arg =
+  let doc = "Messages as hex strings (two digits per byte)." in
+  Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"HEX" ~doc)
+
+let filter_query file hexes =
+  match Filter.load ~file with
+  | Error e ->
+      Format.eprintf "filter query: %s@." e;
+      1
+  | Ok filter ->
+      let ev = Filter.evaluator filter in
+      let rec go = function
+        | [] -> 0
+        | hex :: rest -> (
+            match bytes_of_hex hex with
+            | Error e ->
+                Format.eprintf "filter query: %s@." e;
+                1
+            | Ok bytes ->
+                Format.printf "%s -> %a@." hex (pp_verdict filter)
+                  (Filter.verdict_bytes ev bytes);
+                go rest)
+      in
+      go hexes
+
+let filter_query_cmd =
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Evaluate messages against a compiled filter in-process")
+    Term.(const filter_query $ filter_file_arg $ hex_messages_arg)
+
+let hex_messages_all_arg =
+  let doc = "Messages as hex strings (two digits per byte)." in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"HEX" ~doc)
+
+let filter_send socket tcp hexes =
+  match parse_address socket tcp with
+  | Error e ->
+      Format.eprintf "filter send: %s@." e;
+      1
+  | Ok address -> (
+      let sockaddr, domain =
+        match address with
+        | Daemon.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+        | Daemon.Tcp (host, port) ->
+            (Unix.ADDR_INET (Unix.inet_addr_of_string host, port), Unix.PF_INET)
+      in
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      match Unix.connect fd sockaddr with
+      | exception Unix.Unix_error (err, _, _) ->
+          Format.eprintf "filter send: connect: %s@." (Unix.error_message err);
+          1
+      | () ->
+          let read_exactly n =
+            let buf = Bytes.create n in
+            let rec go off =
+              if off >= n then buf
+              else
+                match Unix.read fd buf off (n - off) with
+                | 0 -> failwith "daemon closed the connection"
+                | k -> go (off + k)
+            in
+            go 0
+          in
+          let code =
+            try
+              List.iter
+                (fun hex ->
+                  match bytes_of_hex hex with
+                  | Error e -> failwith e
+                  | Ok payload ->
+                      let frame = Bytes.create (4 + Bytes.length payload) in
+                      Bytes.set_int32_be frame 0
+                        (Int32.of_int (Bytes.length payload));
+                      Bytes.blit payload 0 frame 4 (Bytes.length payload);
+                      let _ = Unix.write fd frame 0 (Bytes.length frame) in
+                      let reply = read_exactly 5 in
+                      let state =
+                        Int32.to_int (Bytes.get_int32_be reply 1)
+                        land 0xFFFFFFFF
+                      in
+                      let verdict =
+                        match Bytes.get reply 0 with
+                        | 'A' -> "accept"
+                        | 'T' -> Printf.sprintf "trojan-suspect state=%d" state
+                        | 'U' -> "unknown-state"
+                        | c -> Printf.sprintf "unexpected reply %C" c
+                      in
+                      Format.printf "%s -> %s@." hex verdict)
+                hexes;
+              0
+            with Failure e ->
+              Format.eprintf "filter send: %s@." e;
+              1
+          in
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          code)
+
+let filter_send_cmd =
+  Cmd.v
+    (Cmd.info "send"
+       ~doc:
+         "Send messages to a running $(b,serve) daemon and print its \
+          verdicts (the daemon's wire protocol, exercised end to end)")
+    Term.(const filter_send $ socket_arg $ tcp_arg $ hex_messages_all_arg)
+
+let filter_cmd =
+  Cmd.group
+    (Cmd.info "filter"
+       ~doc:"Inspect, evaluate, and exercise compiled Trojan filters")
+    [ filter_info_cmd; filter_query_cmd; filter_send_cmd ]
 
 (* --- trace inspection ------------------------------------------------------------- *)
 
@@ -848,5 +1222,8 @@ let () =
             replay_cmd;
             show_cmd;
             conformance_cmd;
+            compile_filter_cmd;
+            serve_cmd;
+            filter_cmd;
             trace_cmd;
           ]))

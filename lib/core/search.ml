@@ -1329,6 +1329,26 @@ let run ?(config = default_config) ?different_from ~client ~server () =
   then run_sequential ~config ~different_from ~client ~server ~started
   else run_parallel ~config ~different_from ~client ~server ~started
 
+(* Accepting states paired with the Trojan query the search decided them
+   with — the predicate export consumed by the filter compiler
+   ([Achilles_filter]). Trojans carry the query of their state verbatim
+   ([emit_trojans] stores [trojan_query] as [symbolic]); states with no
+   trojan entry had an unsatisfiable query, so [None] means "provably no
+   Trojan message reaches this state". *)
+let trojan_queries (r : report) =
+  List.map
+    (fun (sp : Predicate.server_path) ->
+      let query =
+        List.find_map
+          (fun (t : trojan) ->
+            if t.server_state_id = sp.Predicate.sp_state_id then
+              Some t.symbolic
+            else None)
+          r.trojans
+      in
+      (sp, query))
+    r.accepting
+
 (* The shard-level surface the multi-process coordinator/worker protocol
    ([Achilles_dist]) is built on: explore one leased shard, persist or load
    its event log as a durable checkpoint file, and merge disjoint logs into

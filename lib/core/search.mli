@@ -180,6 +180,15 @@ val run :
   unit ->
   report
 
+val trojan_queries :
+  report -> (Predicate.server_path * Term.t list option) list
+(** Every accepting state paired with the symbolic Trojan query the search
+    decided it with ([pathS /\ AND_alive negate(pathCi)], the [symbolic]
+    field of that state's trojans), or [None] when the query was
+    unsatisfiable — no Trojan message can reach the state. This is the
+    predicate export the filter compiler ([Achilles_filter]) consumes: the
+    per-receiving-state [¬PC] the paper's offline analysis ends with. *)
+
 val minimize_witness : trojan -> Bv.t array
 (** A witness for the same Trojan expression with greedily as many zero
     bytes as the expression allows — easier to read and to diff against

@@ -1,0 +1,171 @@
+module Obs = Achilles_obs.Obs
+
+type address = Unix_socket of string | Tcp of string * int
+
+type stats = {
+  connections : int;
+  messages : int;
+  accepts : int;
+  trojan_suspects : int;
+  unknowns : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d connections, %d messages: %d accept, %d trojan-suspect, %d unknown"
+    s.connections s.messages s.accepts s.trojan_suspects s.unknowns
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t; (* bytes received, not yet consumed as frames *)
+}
+
+let be32_of buf off =
+  let b i = Char.code (Buffer.nth buf (off + i)) in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let response verdict =
+  let out = Bytes.create 5 in
+  let c, state =
+    match verdict with
+    | Filter.Accept -> ('A', 0xFFFFFFFF)
+    | Filter.Trojan_suspect id -> ('T', id)
+    | Filter.Unknown_state -> ('U', 0xFFFFFFFF)
+  in
+  Bytes.set out 0 c;
+  Bytes.set out 1 (Char.chr ((state lsr 24) land 0xff));
+  Bytes.set out 2 (Char.chr ((state lsr 16) land 0xff));
+  Bytes.set out 3 (Char.chr ((state lsr 8) land 0xff));
+  Bytes.set out 4 (Char.chr (state land 0xff));
+  out
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+exception Drop_connection
+
+let run ?(max_frame = 1 lsl 20) ~filter ~address ~stop () =
+  let ev = Filter.evaluator filter in
+  let listener =
+    match address with
+    | Unix_socket path ->
+        (match Unix.lstat path with
+        | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+        | _ -> () (* refuse to clobber a non-socket; bind will fail honestly *)
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        fd
+    | Tcp (host, port) ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        fd
+  in
+  Unix.listen listener 16;
+  let conns = ref [] in
+  let st =
+    ref
+      {
+        connections = 0;
+        messages = 0;
+        accepts = 0;
+        trojan_suspects = 0;
+        unknowns = 0;
+      }
+  in
+  let record verdict =
+    let s = !st in
+    st :=
+      (match verdict with
+      | Filter.Accept ->
+          Obs.count "filter.accept";
+          { s with messages = s.messages + 1; accepts = s.accepts + 1 }
+      | Filter.Trojan_suspect _ ->
+          Obs.count "filter.trojan_suspect";
+          {
+            s with
+            messages = s.messages + 1;
+            trojan_suspects = s.trojan_suspects + 1;
+          }
+      | Filter.Unknown_state ->
+          Obs.count "filter.unknown";
+          { s with messages = s.messages + 1; unknowns = s.unknowns + 1 })
+  in
+  let scratch = Bytes.create 4096 in
+  (* Consume every complete frame in [c.buf]; raises [Drop_connection] on an
+     oversized frame. *)
+  let drain_frames c =
+    let consumed = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let available = Buffer.length c.buf - !consumed in
+      if available < 4 then continue := false
+      else
+        let frame_len = be32_of c.buf !consumed in
+        if frame_len > max_frame then raise Drop_connection
+        else if available < 4 + frame_len then continue := false
+        else begin
+          let payload = Bytes.create frame_len in
+          Buffer.blit c.buf (!consumed + 4) payload 0 frame_len;
+          consumed := !consumed + 4 + frame_len;
+          let verdict =
+            Obs.span Obs.Filter_eval (fun () -> Filter.verdict_bytes ev payload)
+          in
+          record verdict;
+          write_all c.fd (response verdict)
+        end
+    done;
+    if !consumed > 0 then begin
+      let rest = Buffer.sub c.buf !consumed (Buffer.length c.buf - !consumed) in
+      Buffer.clear c.buf;
+      Buffer.add_string c.buf rest
+    end
+  in
+  let close_conn c =
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    conns := List.filter (fun c' -> c' != c) !conns
+  in
+  let service c =
+    match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+    | 0 -> close_conn c
+    | n ->
+        Buffer.add_subbytes c.buf scratch 0 n;
+        (try drain_frames c with
+        | Drop_connection -> close_conn c
+        | Unix.Unix_error _ -> close_conn c)
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        close_conn c
+  in
+  while not (stop ()) do
+    let fds = listener :: List.map (fun c -> c.fd) !conns in
+    match Unix.select fds [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = listener then begin
+              match Unix.accept listener with
+              | conn_fd, _ ->
+                  conns := { fd = conn_fd; buf = Buffer.create 256 } :: !conns;
+                  st := { !st with connections = !st.connections + 1 }
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match List.find_opt (fun c -> c.fd = fd) !conns with
+              | Some c -> service c
+              | None -> ())
+          readable
+  done;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  (match address with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  !st

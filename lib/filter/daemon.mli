@@ -1,0 +1,42 @@
+(** Serve a compiled filter over a socket.
+
+    A single-process [select] loop speaking a length-prefixed framing:
+
+    - request: a 4-byte big-endian unsigned length, then that many message
+      bytes;
+    - response: 5 bytes — one verdict character ([{'A'|'T'|'U'}] for
+      accept / trojan-suspect / unknown-state) followed by a 4-byte
+      big-endian state id ([0xFFFFFFFF] when there is none).
+
+    A frame whose length does not match the filter's message size gets an
+    honest ['U']; a frame longer than [max_frame] drops the connection.
+    Every verdict runs under an {!Achilles_obs.Obs.Filter_eval} span and
+    bumps a [filter.accept] / [filter.trojan_suspect] / [filter.unknown]
+    counter, so latency histograms and verdict counts surface through the
+    ordinary observability snapshot. *)
+
+type address =
+  | Unix_socket of string  (** path; an existing socket file is replaced *)
+  | Tcp of string * int  (** bind address and port, [SO_REUSEADDR] set *)
+
+type stats = {
+  connections : int;
+  messages : int;
+  accepts : int;
+  trojan_suspects : int;
+  unknowns : int;
+}
+
+val run :
+  ?max_frame:int ->
+  filter:Filter.t ->
+  address:address ->
+  stop:(unit -> bool) ->
+  unit ->
+  stats
+(** Serve until [stop ()] turns true (polled a few times a second and
+    between frames; [EINTR] from a signal wakes the poll immediately).
+    Returns after every connection is closed and, for a Unix socket, the
+    socket file is unlinked. [max_frame] defaults to 1 MiB. *)
+
+val pp_stats : Format.formatter -> stats -> unit

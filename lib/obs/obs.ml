@@ -12,6 +12,7 @@ type phase =
   | Checkpoint_io
   | Report
   | Dist
+  | Filter_eval
 
 let all_phases =
   [
@@ -24,6 +25,7 @@ let all_phases =
     Checkpoint_io;
     Report;
     Dist;
+    Filter_eval;
   ]
 
 let phase_name = function
@@ -36,6 +38,7 @@ let phase_name = function
   | Checkpoint_io -> "checkpoint_io"
   | Report -> "report"
   | Dist -> "dist"
+  | Filter_eval -> "filter_eval"
 
 let phase_of_name s = List.find_opt (fun p -> phase_name p = s) all_phases
 
@@ -49,6 +52,7 @@ let phase_index = function
   | Checkpoint_io -> 6
   | Report -> 7
   | Dist -> 8
+  | Filter_eval -> 9
 
 let n_phases = List.length all_phases
 

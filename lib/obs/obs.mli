@@ -28,6 +28,7 @@ type phase =
   | Checkpoint_io    (** shard checkpoint write/load *)
   | Report           (** report rendering *)
   | Dist             (** coordinator/worker lease protocol and idle time *)
+  | Filter_eval      (** one compiled-filter verdict ([Achilles_filter]) *)
 
 val all_phases : phase list
 

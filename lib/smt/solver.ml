@@ -331,10 +331,6 @@ let cache_stats () =
     cache_eviction_count = d.dstats.cache_evictions;
   }
 
-let cache_stats_pair () =
-  let c = cache_stats () in
-  (c.cache_entries, c.cache_eviction_count)
-
 let aggregate_cache_entries () =
   Mutex.lock registry_mutex;
   let states = !registry in

@@ -266,12 +266,6 @@ type cache_stats = {
 val cache_stats : unit -> cache_stats
 (** Labeled result-cache statistics for the calling domain. *)
 
-val cache_stats_pair : unit -> int * int
-  [@@deprecated "use cache_stats: the bare (entries, evictions) tuple is \
-                 easy to transpose"]
-(** [(entries, evictions)] for the calling domain's result cache — shim for
-    the pre-observability tuple API. *)
-
 val aggregate_cache_entries : unit -> int
 (** Total live result-cache entries across every registered domain. *)
 

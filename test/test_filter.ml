@@ -1,0 +1,580 @@
+(* Compiled Trojan filters, differentially verified against the solver.
+
+   The headline property: for every bundled target, on random concrete
+   messages (uniform bytes, witness mutations, and exact witnesses), the
+   compiled filter's verdict equals the solver's decision of the same
+   per-state Trojan queries the search reported — i.e. compilation
+   (quantifier elimination included) changed nothing. Plus: every
+   search-reported witness is flagged, serialization round-trips, every
+   corruption is rejected rather than mis-answered, and the serve daemon
+   speaks its protocol end to end (in-process and as a real subprocess). *)
+
+open Achilles_smt
+open Achilles_symvm
+open Achilles_core
+open Achilles_targets
+module Filter = Achilles_filter.Filter
+module Daemon = Achilles_filter.Daemon
+
+(* --- the bundled targets, mirrored from the CLI ------------------------------ *)
+
+type setup = {
+  sname : string;
+  layout : Layout.t;
+  clients : Ast.program list;
+  server : Ast.program;
+  mask : string list option;
+  interp : Interp.config;
+  client_interp : Interp.config option;
+}
+
+let setups =
+  [
+    {
+      sname = "fsp";
+      layout = Fsp_model.layout;
+      clients = Fsp_model.clients ();
+      server = Fsp_model.server;
+      mask = Some Fsp_model.analysis_mask;
+      interp = Interp.default_config;
+      client_interp = None;
+    };
+    {
+      sname = "pbft";
+      layout = Pbft_model.layout;
+      clients = [ Pbft_model.client ];
+      server = Pbft_model.replica;
+      mask = Some Pbft_model.analysis_mask;
+      interp =
+        Local_state.over_approximate ~vars:[ ("last_rid", 16) ]
+          Interp.default_config;
+      client_interp = None;
+    };
+    {
+      sname = "kv";
+      layout = Kv_model.layout;
+      clients = [ Kv_model.client ];
+      server = Kv_model.server;
+      mask = Some Kv_model.analysis_mask;
+      interp =
+        {
+          Interp.default_config with
+          Interp.auto_classify = Some Kv_model.auto_classifier;
+        };
+      client_interp = None;
+    };
+    {
+      sname = "gossip";
+      layout = Gossip_model.layout;
+      clients = [ Gossip_model.reporter ];
+      server = Gossip_model.aggregator ~hardened:false ();
+      mask = Some Gossip_model.analysis_mask;
+      interp = Interp.default_config;
+      client_interp =
+        Some
+          (Local_state.concrete
+             ~incoming:(List.init 2 (fun _ -> Gossip_model.failure_event))
+             ~prefix:Gossip_model.reporter_prefix Interp.default_config);
+    };
+    {
+      sname = "paxos";
+      layout = Paxos_model.layout;
+      clients = [ Paxos_model.proposer_concrete ~value:7 ];
+      server = Paxos_model.acceptor;
+      mask = Some [ "mtype"; "ballot"; "value" ];
+      interp =
+        Local_state.concrete ~prefix:(Paxos_model.phase1_prefix ~ballot:5)
+          Interp.default_config;
+      client_interp = None;
+    };
+  ]
+
+let compiled =
+  List.map
+    (fun s ->
+      ( s.sname,
+        lazy
+          (let config =
+             {
+               Search.default_config with
+               Search.mask = s.mask;
+               Search.witnesses_per_path = 4;
+               Search.interp = s.interp;
+             }
+           in
+           let analysis =
+             Achilles.analyze ~search_config:config
+               ?client_interp:s.client_interp ~layout:s.layout
+               ~clients:s.clients ~server:s.server ()
+           in
+           let filter =
+             Filter.compile ~target:s.sname ~layout:s.layout
+               ~report:analysis.Achilles.report ()
+           in
+           (s, analysis.Achilles.report, filter)) ))
+    setups
+
+let force name = Lazy.force (List.assoc name compiled)
+
+(* --- the solver-side oracle --------------------------------------------------- *)
+
+(* Decide each state's Trojan query on concrete bytes the way the search
+   itself would: conjuncts over message bytes evaluate concretely under a
+   model; conjuncts with auxiliary variables get the bytes substituted in
+   and the existential residue goes to the solver. First satisfied state
+   wins, like the filter. *)
+let oracle (report : Search.report) (bytes : int array) =
+  let rec scan = function
+    | [] -> Filter.Accept
+    | ((sp : Predicate.server_path), query) :: rest -> (
+        match query with
+        | None -> scan rest
+        | Some terms ->
+            let byte_of = Hashtbl.create 32 in
+            Array.iteri
+              (fun i (v : Term.var) -> Hashtbl.replace byte_of v.Term.id i)
+              sp.Predicate.msg_vars;
+            let model =
+              Model.of_list
+                (Array.to_list
+                   (Array.mapi
+                      (fun i v ->
+                        (v, Model.Vbv (Bv.of_int ~width:8 bytes.(i))))
+                      sp.Predicate.msg_vars))
+            in
+            let pure, auxed =
+              List.partition
+                (fun t ->
+                  List.for_all
+                    (fun id -> Hashtbl.mem byte_of id)
+                    (Term.var_ids t))
+                terms
+            in
+            if not (List.for_all (Model.eval_bool model) pure) then scan rest
+            else if auxed = [] then Filter.Trojan_suspect sp.Predicate.sp_state_id
+            else
+              let bind (v : Term.var) =
+                match Hashtbl.find_opt byte_of v.Term.id with
+                | Some i -> Some (Term.const (Bv.of_int ~width:8 bytes.(i)))
+                | None -> None
+              in
+              let residue = List.map (Term.subst bind) auxed in
+              (match Solver.check residue with
+              | Solver.Sat _ -> Filter.Trojan_suspect sp.Predicate.sp_state_id
+              | Solver.Unsat -> scan rest
+              | Solver.Unknown ->
+                  Alcotest.fail "oracle: solver returned Unknown unbudgeted"))
+  in
+  scan (Search.trojan_queries report)
+
+let pp_verdict = function
+  | Filter.Accept -> "accept"
+  | Filter.Trojan_suspect id -> Printf.sprintf "trojan-suspect %d" id
+  | Filter.Unknown_state -> "unknown-state"
+
+(* --- differential property ---------------------------------------------------- *)
+
+let witness_bytes (t : Search.trojan) =
+  Array.map (fun b -> Bv.to_int b) t.Search.witness
+
+(* Uniform bytes, mutated witnesses (1-3 flipped positions), and the
+   witnesses themselves: the mutation cases keep most constraints satisfied,
+   which is what drives messages deep into the per-state queries. *)
+let message_gen size witnesses =
+  let open QCheck2.Gen in
+  let uniform = array_size (return size) (int_range 0 255) in
+  match witnesses with
+  | [] -> uniform
+  | ws ->
+      let pick_witness = map Array.copy (oneofl ws) in
+      let mutated =
+        pick_witness >>= fun base ->
+        int_range 1 3 >>= fun flips ->
+        list_size (return flips) (pair (int_range 0 (size - 1)) (int_range 0 255))
+        >>= fun edits ->
+        List.iter (fun (i, v) -> base.(i) <- v) edits;
+        return base
+      in
+      frequency [ (2, uniform); (3, mutated); (1, pick_witness) ]
+
+let differential_test name =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "%s: filter verdict == solver verdict" name)
+    ~count:10_000
+    (QCheck2.Gen.delay (fun () ->
+         let s, report, _ = force name in
+         ignore s;
+         let witnesses =
+           List.filter_map
+             (fun (t : Search.trojan) ->
+               if t.Search.confirmed then Some (witness_bytes t) else None)
+             report.Search.trojans
+         in
+         message_gen (Layout.total_size (List.find (fun s -> s.sname = name) setups).layout) witnesses))
+    (fun bytes ->
+      let _, report, filter = force name in
+      let ev = Filter.evaluator filter in
+      let message = Array.map (fun b -> Bv.of_int ~width:8 b) bytes in
+      let got = Filter.verdict ev message in
+      let expected = oracle report bytes in
+      if got <> expected then
+        QCheck2.Test.fail_reportf "filter says %s, solver says %s"
+          (pp_verdict got) (pp_verdict expected)
+      else true)
+
+let test_witnesses_flagged () =
+  List.iter
+    (fun (name, _) ->
+      let _, report, filter = force name in
+      let ev = Filter.evaluator filter in
+      List.iter
+        (fun (t : Search.trojan) ->
+          if t.Search.confirmed then
+            match Filter.verdict ev t.Search.witness with
+            | Filter.Trojan_suspect _ -> ()
+            | v ->
+                Alcotest.failf "%s: witness for state %d got %s" name
+                  t.Search.server_state_id (pp_verdict v))
+        report.Search.trojans)
+    compiled
+
+let test_exact_compilation () =
+  (* the bundled targets compile without degradation — the differential
+     property above is only meaningful because nothing answers unknown *)
+  List.iter
+    (fun (name, _) ->
+      let _, _, filter = force name in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: unknown leaves" name)
+        0
+        (Filter.unknown_leaves filter);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: has states" name)
+        true
+        (Filter.state_count filter > 0))
+    compiled
+
+let test_wrong_length_is_unknown () =
+  let _, _, filter = force "fsp" in
+  let ev = Filter.evaluator filter in
+  let short = Bytes.make (Filter.message_size filter - 1) '\000' in
+  let long = Bytes.make (Filter.message_size filter + 1) '\000' in
+  Alcotest.(check string) "short" "unknown-state"
+    (pp_verdict (Filter.verdict_bytes ev short));
+  Alcotest.(check string) "long" "unknown-state"
+    (pp_verdict (Filter.verdict_bytes ev long))
+
+(* --- serialization: round trip and corruption guards -------------------------- *)
+
+let fsp_image = lazy (let _, _, filter = force "fsp" in Filter.to_string filter)
+
+let test_round_trip () =
+  List.iter
+    (fun (name, _) ->
+      let _, report, filter = force name in
+      let image = Filter.to_string filter in
+      match Filter.of_string image with
+      | Error e -> Alcotest.failf "%s: round trip failed: %s" name e
+      | Ok filter' ->
+          (* canonical encoding: decode then re-encode is the identity *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: image identical" name)
+            true
+            (String.equal image (Filter.to_string filter'));
+          (* and the decoded filter behaves identically on live traffic *)
+          let ev = Filter.evaluator filter and ev' = Filter.evaluator filter' in
+          List.iter
+            (fun (t : Search.trojan) ->
+              Alcotest.(check bool) "same verdict" true
+                (Filter.verdict ev t.Search.witness
+                = Filter.verdict ev' t.Search.witness))
+            report.Search.trojans)
+    compiled
+
+let expect_error what = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s was accepted" what
+
+let test_corruption_guards () =
+  let image = Lazy.force fsp_image in
+  let len = String.length image in
+  (* torn writes: every truncation point is rejected *)
+  expect_error "empty file" (Filter.of_string "");
+  expect_error "half image" (Filter.of_string (String.sub image 0 (len / 2)));
+  expect_error "missing last byte"
+    (Filter.of_string (String.sub image 0 (len - 1)));
+  expect_error "only the header" (Filter.of_string (String.sub image 0 12));
+  (* foreign files *)
+  expect_error "garbage" (Filter.of_string "not a filter at all");
+  expect_error "trailing garbage" (Filter.of_string (image ^ "x"));
+  (* a future format version is refused rather than misparsed *)
+  let bumped = Bytes.of_string image in
+  Bytes.set bumped 7 '2';
+  expect_error "future version" (Filter.of_string (Bytes.to_string bumped));
+  (* a well-formed envelope around a nonsense payload fails validation *)
+  let payload = String.init 64 (fun i -> Char.chr (i * 7 mod 256)) in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "ACHFLT01";
+  Buffer.add_int32_be buf (Int32.of_int (String.length payload));
+  Buffer.add_string buf payload;
+  Buffer.add_string buf (Digest.string payload);
+  expect_error "valid envelope, junk payload"
+    (Filter.of_string (Buffer.contents buf))
+
+(* Any single bit flip anywhere in the image — magic, lengths, payload, or
+   the digest itself — must produce an error, never a verdict-capable
+   filter with different behavior. *)
+let qcheck_bit_flips_rejected =
+  QCheck2.Test.make ~name:"any single bit flip in the image is rejected"
+    ~count:500
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 7))
+    (fun (p, bit) ->
+      let image = Lazy.force fsp_image in
+      let pos = p mod String.length image in
+      let flipped = Bytes.of_string image in
+      Bytes.set flipped pos
+        (Char.chr (Char.code image.[pos] lxor (1 lsl bit)));
+      match Filter.of_string (Bytes.to_string flipped) with
+      | Error _ -> true
+      | Ok _ ->
+          QCheck2.Test.fail_reportf "flip at byte %d bit %d accepted" pos bit)
+
+let test_save_load () =
+  let _, _, filter = force "gossip" in
+  let file = Filename.temp_file "achilles-filter" ".achfilter" in
+  (match Filter.save filter ~file with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save: %s" e);
+  (match Filter.load ~file with
+  | Ok filter' ->
+      Alcotest.(check string) "round trip through disk"
+        (Filter.to_string filter) (Filter.to_string filter')
+  | Error e -> Alcotest.failf "load: %s" e);
+  Sys.remove file;
+  (match Filter.load ~file with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a missing file succeeded")
+
+(* --- the daemon: in-process protocol check ------------------------------------ *)
+
+let temp_socket_path () =
+  let file = Filename.temp_file "achilles-serve" ".sock" in
+  Sys.remove file;
+  file
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec go tries =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+        Unix.sleepf 0.02;
+        go (tries - 1)
+  in
+  go 250
+
+let read_exactly fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off >= n then buf
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> Alcotest.fail "daemon closed the connection mid-reply"
+      | k -> go (off + k)
+  in
+  go 0
+
+let frame_of payload =
+  let frame = Bytes.create (4 + Bytes.length payload) in
+  Bytes.set_int32_be frame 0 (Int32.of_int (Bytes.length payload));
+  Bytes.blit payload 0 frame 4 (Bytes.length payload);
+  frame
+
+let send_message fd payload =
+  let frame = frame_of payload in
+  let n = Unix.write fd frame 0 (Bytes.length frame) in
+  Alcotest.(check int) "frame fully written" (Bytes.length frame) n;
+  let reply = read_exactly fd 5 in
+  let state = Int32.to_int (Bytes.get_int32_be reply 1) land 0xFFFFFFFF in
+  (Bytes.get reply 0, state)
+
+let bytes_of_witness w =
+  Bytes.init (Array.length w) (fun i -> Char.chr (Bv.to_int w.(i)))
+
+let test_daemon_in_process () =
+  let _, report, filter = force "gossip" in
+  let ev = Filter.evaluator filter in
+  let sock = temp_socket_path () in
+  let stop = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        Daemon.run ~filter ~address:(Daemon.Unix_socket sock)
+          ~stop:(fun () -> Atomic.get stop)
+          ())
+  in
+  Fun.protect ~finally:(fun () -> Atomic.set stop true)
+  @@ fun () ->
+  let fd = connect_unix sock in
+  (* every confirmed witness comes back 'T' with the id the filter gives *)
+  let confirmed =
+    List.filter (fun (t : Search.trojan) -> t.Search.confirmed)
+      report.Search.trojans
+  in
+  Alcotest.(check bool) "have witnesses to send" true (confirmed <> []);
+  List.iter
+    (fun (t : Search.trojan) ->
+      let expected =
+        match Filter.verdict ev t.Search.witness with
+        | Filter.Trojan_suspect id -> id
+        | v -> Alcotest.failf "witness not flagged in-process: %s" (pp_verdict v)
+      in
+      let c, state = send_message fd (bytes_of_witness t.Search.witness) in
+      Alcotest.(check char) "verdict char" 'T' c;
+      Alcotest.(check int) "state id" expected state)
+    confirmed;
+  (* a benign message answers 'A', a wrong-length one 'U' *)
+  let benign = Bytes.make (Filter.message_size filter) '\255' in
+  (match Filter.verdict_bytes ev (Bytes.copy benign) with
+  | Filter.Accept -> ()
+  | v -> Alcotest.failf "expected all-ff gossip message benign, got %s" (pp_verdict v));
+  let c, _ = send_message fd benign in
+  Alcotest.(check char) "benign verdict" 'A' c;
+  let c, _ = send_message fd (Bytes.make 2 '\000') in
+  Alcotest.(check char) "wrong length" 'U' c;
+  (* pipelining: two frames in one write produce two replies in order *)
+  let w = bytes_of_witness (List.hd confirmed).Search.witness in
+  let both = Bytes.concat Bytes.empty [ frame_of w; frame_of benign ] in
+  let n = Unix.write fd both 0 (Bytes.length both) in
+  Alcotest.(check int) "both frames written" (Bytes.length both) n;
+  let r1 = read_exactly fd 5 in
+  let r2 = read_exactly fd 5 in
+  Alcotest.(check char) "pipelined first" 'T' (Bytes.get r1 0);
+  Alcotest.(check char) "pipelined second" 'A' (Bytes.get r2 0);
+  (* a frame split across writes is reassembled *)
+  let frame = frame_of w in
+  let half = Bytes.length frame / 2 in
+  ignore (Unix.write fd frame 0 half);
+  Unix.sleepf 0.05;
+  ignore (Unix.write fd frame half (Bytes.length frame - half));
+  let r3 = read_exactly fd 5 in
+  Alcotest.(check char) "split frame" 'T' (Bytes.get r3 0);
+  Unix.close fd;
+  Atomic.set stop true;
+  let stats = Domain.join daemon in
+  Alcotest.(check int) "daemon counted every message"
+    (List.length confirmed + 5)
+    stats.Daemon.messages;
+  Alcotest.(check int) "one connection" 1 stats.Daemon.connections;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists sock)
+
+(* --- the daemon as a real subprocess (achilles serve round trip) -------------- *)
+
+let cli_binary () =
+  let candidate =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      "../bin/achilles_cli.exe"
+  in
+  if Sys.file_exists candidate then Some candidate else None
+
+let test_serve_subprocess () =
+  match cli_binary () with
+  | None -> print_endline "achilles_cli.exe not built here; skipping"
+  | Some binary ->
+      let _, report, filter = force "gossip" in
+      let file = Filename.temp_file "achilles-filter" ".achfilter" in
+      (match Filter.save filter ~file with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "save: %s" e);
+      let sock = temp_socket_path () in
+      let out = Filename.temp_file "achilles-serve" ".out" in
+      let out_fd = Unix.openfile out [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+      let pid =
+        Unix.create_process binary
+          [| binary; "serve"; file; "--socket"; sock |]
+          Unix.stdin out_fd Unix.stderr
+      in
+      Unix.close out_fd;
+      Fun.protect ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+          List.iter
+            (fun f -> try Sys.remove f with Sys_error _ -> ())
+            [ file; out; sock ])
+      @@ fun () ->
+      let fd = connect_unix sock in
+      let witness =
+        match
+          List.find_opt (fun (t : Search.trojan) -> t.Search.confirmed)
+            report.Search.trojans
+        with
+        | Some t -> t
+        | None -> Alcotest.fail "gossip analysis reported no confirmed trojan"
+      in
+      let c, _ = send_message fd (bytes_of_witness witness.Search.witness) in
+      Alcotest.(check char) "subprocess flags the witness" 'T' c;
+      let benign = Bytes.make (Filter.message_size filter) '\255' in
+      let c, _ = send_message fd benign in
+      Alcotest.(check char) "subprocess accepts benign" 'A' c;
+      Unix.close fd;
+      (* clean SIGTERM drain: exit 0 and final statistics on stdout *)
+      Unix.kill pid Sys.sigterm;
+      let _, status = Unix.waitpid [] pid in
+      Alcotest.(check bool) "clean exit on SIGTERM" true
+        (status = Unix.WEXITED 0);
+      let ic = open_in out in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check bool) "announced readiness" true
+        (String.length content >= 5
+        && List.exists
+             (fun line -> String.trim line = "ready")
+             (String.split_on_char '\n' content));
+      Alcotest.(check bool) "printed drain statistics" true
+        (List.exists
+           (fun line ->
+             let line = String.trim line in
+             String.length line > 0
+             && String.index_opt line ',' <> None
+             && List.exists
+                  (fun needle ->
+                    let nl = String.length needle and ll = String.length line in
+                    let rec find i =
+                      i + nl <= ll
+                      && (String.sub line i nl = needle || find (i + 1))
+                    in
+                    find 0)
+                  [ "trojan-suspect" ])
+           (String.split_on_char '\n' content))
+
+let () =
+  let qsuite name tests =
+    (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
+  in
+  Alcotest.run "filter"
+    [
+      qsuite "differential"
+        (List.map (fun (name, _) -> differential_test name) compiled);
+      ( "compilation",
+        [
+          Alcotest.test_case "witnesses flagged" `Quick test_witnesses_flagged;
+          Alcotest.test_case "exact (no unknown leaves)" `Quick
+            test_exact_compilation;
+          Alcotest.test_case "wrong length is unknown" `Quick
+            test_wrong_length_is_unknown;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "corruption guards" `Quick test_corruption_guards;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+        ] );
+      qsuite "serialization-properties" [ qcheck_bit_flips_rejected ];
+      ( "daemon",
+        [
+          Alcotest.test_case "in-process protocol" `Quick test_daemon_in_process;
+          Alcotest.test_case "serve subprocess round trip" `Quick
+            test_serve_subprocess;
+        ] );
+    ]
