@@ -1078,6 +1078,171 @@ let experiment_incremental () =
   csv_dir := saved;
   if !failed then exit 1
 
+(* --- E18: static dependency slicing ----------------------------------------------- *)
+
+let experiment_slice () =
+  banner
+    "E18: static slice oracle — taint-directed feasibility vs full-path \
+     queries";
+  (* One measurement = one traced FSP analysis from an identical starting
+     state, slice oracle on or off, at a given domain count. The oracle is
+     verdict-preserving, so the digest must be byte-identical across every
+     combination; what changes is how branch feasibility gets decided —
+     statically from equality chains, from the per-run memo, or by a
+     cone-restricted query instead of a full-path one — and how many
+     differentFrom pairs ever reach the solver. *)
+  let measure ~slice ~domains =
+    Solver.reset_all_for_tests ();
+    Obs.reset_all ();
+    Term.set_fresh_counter 0;
+    let file = Filename.temp_file "achilles-slice-" ".jsonl" in
+    Obs.Trace.enable file;
+    let t0 = Unix.gettimeofday () in
+    let analysis =
+      Achilles.analyze
+        ~search_config:
+          {
+            fsp_search_config with
+            Search.domains;
+            Search.use_slice = slice;
+          }
+        ~layout:Fsp_model.layout ~clients:(Fsp_model.clients ())
+        ~server:Fsp_model.server ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Obs.Trace.disable ();
+    let summary =
+      match Obs.Summary.load file with
+      | Ok s -> s
+      | Error e ->
+          Format.printf "  slice: trace unreadable: %s@." e;
+          exit 1
+    in
+    Sys.remove file;
+    let self phase =
+      match
+        List.find_opt
+          (fun r -> r.Obs.Summary.row_phase = phase)
+          summary.Obs.Summary.rows
+      with
+      | Some r -> r.Obs.Summary.self_seconds
+      | None -> 0.
+    in
+    let agg = Solver.aggregate_stats () in
+    let counters = (Obs.aggregate ()).Obs.counters in
+    let counter name =
+      Option.value ~default:0 (List.assoc_opt name counters)
+    in
+    let cov = analysis.Achilles.report.Search.coverage in
+    let pairs_checked, pairs_static =
+      match analysis.Achilles.different_from_stats with
+      | Some s -> (s.Different_from.pairs_checked, s.Different_from.pairs_static)
+      | None -> (0, 0)
+    in
+    let digest = Report.report_digest analysis.Achilles.report in
+    ( digest,
+      [
+        ("wall_s", Printf.sprintf "%.4f" wall);
+        ("solve_s", Printf.sprintf "%.4f" agg.Solver.solve_time);
+        ("solver_query_self_s", Printf.sprintf "%.4f" (self "solver_query"));
+        ("slice_self_s", Printf.sprintf "%.4f" (self "slice"));
+        ("queries", string_of_int agg.Solver.queries);
+        ("sat_calls", string_of_int agg.Solver.sat_calls);
+        ( "full_path_feasibility",
+          string_of_int (counter "interp.feasibility_queries") );
+        ("static_branches", string_of_int cov.Search.slice_static_branches);
+        ("cone_queries", string_of_int cov.Search.slice_cone_queries);
+        ("pairs_checked", string_of_int pairs_checked);
+        ("pairs_static", string_of_int pairs_static);
+        ("digest", digest);
+      ] )
+  in
+  let domain_counts = [ 1; 4 ] in
+  let rows = ref [] in
+  let failed = ref false in
+  let get k row = List.assoc k row in
+  List.iter
+    (fun domains ->
+      let digest_on, on = measure ~slice:true ~domains in
+      let digest_off, off = measure ~slice:false ~domains in
+      if digest_on <> digest_off then begin
+        Format.eprintf
+          "slice: FSP report digest differs between modes at %d domain(s) \
+           (%s vs %s)@."
+          domains digest_on digest_off;
+        failed := true
+      end;
+      Format.printf
+        "  fsp j=%d slice=on  wall %ss, %s solver queries (%s sat calls), \
+         %s full-path feasibility, %s branches decided statically, %s cone \
+         queries, pairs %s checked / %s static@."
+        domains (get "wall_s" on) (get "queries" on) (get "sat_calls" on)
+        (get "full_path_feasibility" on)
+        (get "static_branches" on)
+        (get "cone_queries" on) (get "pairs_checked" on)
+        (get "pairs_static" on);
+      Format.printf
+        "  fsp j=%d slice=off wall %ss, %s solver queries (%s sat calls), \
+         %s full-path feasibility, pairs %s checked@."
+        domains (get "wall_s" off) (get "queries" off) (get "sat_calls" off)
+        (get "full_path_feasibility" off)
+        (get "pairs_checked" off);
+      (* Wall-clock is noisy under CI; the deterministic proxy for the saved
+         interpreter work is the branch-feasibility solver stream: without
+         the oracle every branch decision pays a full-path query, with it
+         the same decisions are settled statically, from the memo, or by a
+         cone-restricted query over the few conjuncts sharing variables
+         with the condition. *)
+      let feas_on =
+        int_of_string (get "full_path_feasibility" on)
+        + int_of_string (get "cone_queries" on)
+      in
+      let feas_off = int_of_string (get "full_path_feasibility" off) in
+      let p_on = int_of_string (get "pairs_checked" on) in
+      let p_off = int_of_string (get "pairs_checked" off) in
+      Format.printf
+        "  fsp j=%d feasibility work: %d -> %d branch queries (%.1fx \
+         reduction); pairs: %d -> %d (%.1fx); digests identical: %b@."
+        domains feas_off feas_on
+        (float_of_int feas_off /. float_of_int (max 1 feas_on))
+        p_off p_on
+        (float_of_int p_off /. float_of_int (max 1 p_on))
+        (digest_on = digest_off);
+      if domains = 1 then begin
+        if feas_off < 2 * feas_on then begin
+          Format.eprintf
+            "slice: expected a >= 2x branch-feasibility reduction on FSP, \
+             got %d (on) vs %d (off)@."
+            feas_on feas_off;
+          failed := true
+        end;
+        if p_off < 3 * p_on then begin
+          Format.eprintf
+            "slice: expected a >= 3x pairs_checked reduction on FSP, got %d \
+             (on) vs %d (off)@."
+            p_on p_off;
+          failed := true
+        end
+      end;
+      let csv mode row =
+        Printf.sprintf "fsp,%d,%s,%s" domains mode
+          (String.concat "," (List.map snd row))
+      in
+      rows := csv "off" off :: csv "on" on :: !rows)
+    domain_counts;
+  (* always persist the series, like the other figure experiments *)
+  let saved = !csv_dir in
+  if saved = None then begin
+    (try Unix.mkdir "bench" 0o755
+     with Unix.Unix_error ((Unix.EEXIST | Unix.EPERM), _, _) -> ());
+    csv_dir := Some (Filename.concat "bench" "figures")
+  end;
+  write_csv "slice.csv"
+    "target,domains,slice,wall_s,solve_s,solver_query_self_s,slice_self_s,queries,sat_calls,full_path_feasibility,static_branches,cone_queries,pairs_checked,pairs_static,digest"
+    (List.rev !rows);
+  csv_dir := saved;
+  if !failed then exit 1
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------------------ *)
 
 let bechamel_benchmarks () =
@@ -1501,6 +1666,7 @@ let experiments =
     ("sharing", experiment_sharing);
     ("profile", experiment_profile);
     ("incremental", experiment_incremental);
+    ("slice", experiment_slice);
     ("dist", experiment_dist);
     ("serve", experiment_serve);
   ]

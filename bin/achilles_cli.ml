@@ -11,6 +11,7 @@ open Achilles_core
 open Achilles_targets
 module Smt_term = Term
 module Obs = Achilles_obs.Obs
+module Slice = Achilles_slice.Slice
 open Cmdliner
 
 type target = {
@@ -166,6 +167,17 @@ let no_incremental_arg =
      baseline for $(b,--experiment incremental)."
   in
   Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
+let no_slice_arg =
+  let doc =
+    "Disable static dependency slicing: branch feasibility goes back to \
+     full-path solver queries, message-independent branches count against \
+     the depth bound again, and every differentFrom pair check hits the \
+     solver (also: $(b,ACHILLES_SLICE=0)). Reports are byte-identical in \
+     both modes; this is the escape hatch and the baseline for \
+     $(b,--experiment slice)."
+  in
+  Arg.(value & flag & info [ "no-slice" ] ~doc)
 
 let domains_arg =
   let doc =
@@ -340,6 +352,7 @@ type manifest = {
   mf_no_df : bool;
   mf_no_prune : bool;
   mf_no_incremental : bool;
+  mf_no_slice : bool;
   mf_explain : bool;
   mf_deadline : float option;
   mf_conflicts : int option;
@@ -351,7 +364,7 @@ type manifest = {
    [domains] is set to the worker count so the shard decomposition scales
    with it (each worker explores its leased shard sequentially). *)
 let dist_search_config target ~mask ~witnesses ~no_drop ~no_df ~no_prune
-    ~explain ~workers ~deadline ~conflicts =
+    ~no_slice ~explain ~workers ~deadline ~conflicts =
   let solver_budget =
     match (deadline, conflicts) with
     | None, None -> None
@@ -365,6 +378,7 @@ let dist_search_config target ~mask ~witnesses ~no_drop ~no_df ~no_prune
     Search.drop_alive = not no_drop;
     Search.use_different_from = not no_df;
     Search.prune_no_trojan = not no_prune;
+    Search.use_slice = Slice.enabled () && not no_slice;
     Search.explain_drops = explain;
     Search.interp = target.interp;
     Search.domains = max 1 workers;
@@ -375,8 +389,8 @@ let dist_search_config target ~mask ~witnesses ~no_drop ~no_df ~no_prune
 let search_config_of_manifest target mf =
   dist_search_config target ~mask:mf.mf_mask ~witnesses:mf.mf_witnesses
     ~no_drop:mf.mf_no_drop ~no_df:mf.mf_no_df ~no_prune:mf.mf_no_prune
-    ~explain:mf.mf_explain ~workers:mf.mf_workers ~deadline:mf.mf_deadline
-    ~conflicts:mf.mf_conflicts
+    ~no_slice:mf.mf_no_slice ~explain:mf.mf_explain ~workers:mf.mf_workers
+    ~deadline:mf.mf_deadline ~conflicts:mf.mf_conflicts
 
 (* Client extraction + differentFrom, then the job record every process of
    the run must agree on. *)
@@ -392,7 +406,15 @@ let dist_job target config =
   in
   let different_from, different_from_stats =
     if config.Search.use_different_from then
-      let df, stats = Different_from.compute ?mask:config.Search.mask client in
+      let server_slice =
+        if config.Search.use_slice then
+          Some (Slice.analyze ~layout:target.layout target.server)
+        else None
+      in
+      let df, stats =
+        Different_from.compute ?mask:config.Search.mask
+          ~use_slice:config.Search.use_slice ?server_slice client
+      in
       (Some df, Some stats)
     else (None, None)
   in
@@ -455,9 +477,9 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the bundled target systems")
     Term.(const run $ const ())
 
-let analyze name mask witnesses no_drop no_df no_prune no_incremental verbose
-    explain domains deadline solver_budget checkpoint_dir resume trace workers
-    work_dir lease_ttl reassign_budget digest =
+let analyze name mask witnesses no_drop no_df no_prune no_incremental no_slice
+    verbose explain domains deadline solver_budget checkpoint_dir resume trace
+    workers work_dir lease_ttl reassign_budget digest =
   match find_target name with
   | Error e ->
       Format.eprintf "%s@." e;
@@ -471,6 +493,7 @@ let analyze name mask witnesses no_drop no_df no_prune no_incremental verbose
         if workers < 0 then Pool.recommended_domains () else workers
       in
       if no_incremental then Solver.set_incremental false;
+      if no_slice then Slice.set_enabled false;
       install_signal_handlers ();
       setup_trace trace;
       if verbose then install_verbose_sink ();
@@ -495,7 +518,8 @@ let analyze name mask witnesses no_drop no_df no_prune no_incremental verbose
         | Some workdir when workers > 0 ->
             let config =
               dist_search_config target ~mask ~witnesses ~no_drop ~no_df
-                ~no_prune ~explain ~workers ~deadline ~conflicts:solver_budget
+                ~no_prune ~no_slice ~explain ~workers ~deadline
+                ~conflicts:solver_budget
             in
             run_coordinator target config ~workers ~workdir ~lease_ttl
               ~reassign_budget
@@ -508,6 +532,7 @@ let analyze name mask witnesses no_drop no_df no_prune no_incremental verbose
                   mf_no_df = no_df;
                   mf_no_prune = no_prune;
                   mf_no_incremental = no_incremental;
+                  mf_no_slice = no_slice;
                   mf_explain = explain;
                   mf_deadline = deadline;
                   mf_conflicts = solver_budget;
@@ -533,6 +558,7 @@ let analyze name mask witnesses no_drop no_df no_prune no_incremental verbose
                 Search.drop_alive = not no_drop;
                 Search.use_different_from = not no_df;
                 Search.prune_no_trojan = not no_prune;
+                Search.use_slice = Slice.enabled () && not no_slice;
                 Search.explain_drops = explain;
                 Search.interp = target.interp;
                 Search.domains = domains;
@@ -598,10 +624,11 @@ let analyze_cmd =
          ])
     Term.(
       const analyze $ target_arg $ mask_arg $ witnesses_arg $ no_drop_arg
-      $ no_df_arg $ no_prune_arg $ no_incremental_arg $ verbose_arg
-      $ explain_arg $ domains_arg $ deadline_arg $ solver_budget_arg
-      $ checkpoint_dir_arg $ resume_arg $ trace_arg $ workers_arg
-      $ work_dir_arg $ lease_ttl_arg $ reassign_budget_arg $ digest_arg)
+      $ no_df_arg $ no_prune_arg $ no_incremental_arg $ no_slice_arg
+      $ verbose_arg $ explain_arg $ domains_arg $ deadline_arg
+      $ solver_budget_arg $ checkpoint_dir_arg $ resume_arg $ trace_arg
+      $ workers_arg $ work_dir_arg $ lease_ttl_arg $ reassign_budget_arg
+      $ digest_arg)
 
 let predicate name =
   match find_target name with
@@ -747,6 +774,7 @@ let worker workdir wid epoch =
               2
           | Ok target ->
               if mf.mf_no_incremental then Solver.set_incremental false;
+              if mf.mf_no_slice then Slice.set_enabled false;
               let config = search_config_of_manifest target mf in
               let job, _, _, _, _ = dist_job target config in
               if job.Dist.Worker.j_fingerprint <> mf.mf_fingerprint then begin

@@ -17,13 +17,30 @@ type analysis = {
 
 let analyze ?(search_config = Search.default_config)
     ?(client_interp = Interp.default_config) ~layout ~clients ~server () =
+  let client_interp =
+    (* the slice oracle is verdict-preserving, so client extraction can use
+       it too — client guard chains are mostly single-variable interval
+       atoms the oracle decides without a solver call *)
+    if search_config.Search.use_slice then
+      {
+        client_interp with
+        Interp.oracle = Some (Achilles_slice.Slice.make_oracle ());
+      }
+    else client_interp
+  in
   let client, client_stats =
     Client_extract.extract ~config:client_interp ~layout clients
   in
   let different_from, different_from_stats, preprocessing =
     if search_config.Search.use_different_from then begin
+      let server_slice =
+        if search_config.Search.use_slice then
+          Some (Achilles_slice.Slice.analyze ~layout server)
+        else None
+      in
       let df, stats =
-        Different_from.compute ?mask:search_config.Search.mask client
+        Different_from.compute ?mask:search_config.Search.mask
+          ~use_slice:search_config.Search.use_slice ?server_slice client
       in
       (Some df, Some stats, stats.Different_from.wall_time)
     end
@@ -72,8 +89,8 @@ let pp_summary fmt analysis =
     analysis.timing.client_extraction analysis.timing.preprocessing
     (match analysis.different_from_stats with
     | Some s ->
-        Printf.sprintf " (%d pair checks, %d fields)"
-          s.Different_from.pairs_checked
+        Printf.sprintf " (%d pair checks, %d static, %d fields)"
+          s.Different_from.pairs_checked s.Different_from.pairs_static
           (List.length s.Different_from.fields_covered)
     | None -> " (skipped)")
     analysis.timing.server_analysis stats.Search.accepting_paths

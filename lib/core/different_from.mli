@@ -17,7 +17,8 @@ type t
 
 type stats = {
   fields_covered : string list; (* independent fields, in layout order *)
-  pairs_checked : int; (* solver queries issued *)
+  pairs_checked : int; (* solver queries actually issued *)
+  pairs_static : int; (* deduplicated pairs decided without the solver *)
   wall_time : float;
 }
 
@@ -25,6 +26,8 @@ val compute :
   ?memoize:bool ->
   ?mask:string list ->
   ?pool:Pool.t ->
+  ?use_slice:bool ->
+  ?server_slice:Achilles_slice.Slice.summary ->
   Predicate.client_predicate ->
   t * stats
 (** [memoize] (default [true]) caches pair checks on alpha-canonical
@@ -33,10 +36,23 @@ val compute :
     the paper's raw quadratic precomputation cost.
 
     [pool] distributes the (deduplicated) pair checks over worker domains.
-    The result — matrix, [pairs_checked], and even the fresh-variable ids
-    consumed — is identical to the sequential computation: representatives
-    are fixed in the sequential iteration order and each check replays a
-    pinned fresh-counter slot on whichever domain runs it. *)
+    The result — matrix, stats, and even the fresh-variable ids consumed —
+    is identical to the sequential computation: representatives are fixed
+    in the sequential iteration order and each check replays a pinned
+    fresh-counter slot on whichever domain runs it.
+
+    [use_slice] (default {!Achilles_slice.Slice.enabled}) decides pairs
+    whose field summaries are statically known (concrete vs concrete,
+    unconstrained injective chain vs concrete, unconstrained symbolic on
+    the containing side) without a solver query; the verdicts are exactly
+    the ones the queries would return, so the matrix is unchanged. With
+    [server_slice] — the server program's dependence summary — pair checks
+    for fields that reach no server branch are skipped wholesale: their
+    matrix entries stay [false] (the safe no-drop default, and the rows the
+    search provably never consults), while [fields_covered] is unchanged.
+    Statically decided pairs count in [pairs_static], never in
+    [pairs_checked]. Skipped checks keep their fresh-variable slots, so
+    later variable ids (and report digests) are independent of slicing. *)
 
 val covers_field : t -> string -> bool
 val different : t -> i:int -> j:int -> field:string -> bool

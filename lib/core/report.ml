@@ -73,6 +73,10 @@ let pp_coverage fmt (c : Search.coverage) =
       (100.
       *. float_of_int c.Search.solver_cache_hits
       /. float_of_int c.Search.solver_queries);
+  if c.Search.slice_static_branches > 0 || c.Search.slice_cone_queries > 0 then
+    Format.fprintf fmt
+      "  slice oracle    %d branches decided statically, %d cone queries@,"
+      c.Search.slice_static_branches c.Search.slice_cone_queries;
   Format.fprintf fmt "@]"
 
 (* Counts only: span durations and histograms are wall-clock and belong in

@@ -1,6 +1,7 @@
 open Achilles_smt
 open Achilles_symvm
 module Obs = Achilles_obs.Obs
+module Slice = Achilles_slice.Slice
 
 type config = {
   drop_alive : bool;
@@ -15,6 +16,10 @@ type config = {
       (* record, for every dropped client path, the unsat core of server
          constraints that made it incompatible (requires
          incremental_bindings) *)
+  use_slice : bool;
+      (* answer branch feasibility through the static-slice oracle (cone
+         restriction + equality-chain decisions); verdict-preserving, so
+         report digests are unchanged *)
   mask : string list option;
   witnesses_per_path : int;
   distinct_by : (Bv.t array -> Term.var array -> Term.t) option;
@@ -52,6 +57,7 @@ let default_config =
     check_overlap = true;
     incremental_bindings = true;
     explain_drops = false;
+    use_slice = Slice.enabled ();
     mask = None;
     witnesses_per_path = 1;
     distinct_by = None;
@@ -124,7 +130,20 @@ type coverage = {
   solver_cache_evictions : int;
   solver_cache_hits : int;
   solver_queries : int;
+  (* slice-oracle effectiveness, process-wide since the last stats reset
+     (like the cache stats above — never digested, and multi-process
+     workers' counters stay in their own processes): branch decisions
+     settled statically, and full-path feasibility queries replaced by
+     cone-restricted ones *)
+  slice_static_branches : int;
+  slice_cone_queries : int;
 }
+
+(* Cumulative Obs counter reads, mirroring [Solver.aggregate_stats]. *)
+let slice_counters () =
+  let counters = (Obs.aggregate ()).Obs.counters in
+  let get name = Option.value ~default:0 (List.assoc_opt name counters) in
+  (get "slice.branch_skipped", get "slice.cone_queries")
 
 let coverage_complete c =
   c.completed_shards = c.total_shards
@@ -758,12 +777,17 @@ let run_sequential ~config ~different_from ~client ~server ~started =
   let faults0 = solver_stats.Solver.injected_faults in
   let saved_budget = Solver.get_budget () in
   Solver.set_budget config.solver_budget;
+  let iconfig =
+    if config.use_slice then
+      { config.interp with Interp.oracle = Some (Slice.make_oracle ()) }
+    else config.interp
+  in
   let run_result =
     Fun.protect
       ~finally:(fun () -> Solver.set_budget saved_budget)
       (fun () ->
         Obs.span Obs.Server_se (fun () ->
-            Interp.run ~config:config.interp ~hooks:(hooks_of ctx) server))
+            Interp.run ~config:iconfig ~hooks:(hooks_of ctx) server))
   in
   let stats =
     {
@@ -780,6 +804,7 @@ let run_sequential ~config ~different_from ~client ~server ~started =
   in
   let interrupted = config.cancel () in
   let agg = Solver.aggregate_stats () in
+  let slice_static, slice_cone = slice_counters () in
   let coverage =
     {
       total_shards = 1;
@@ -799,6 +824,8 @@ let run_sequential ~config ~different_from ~client ~server ~started =
       solver_cache_evictions = agg.Solver.cache_evictions;
       solver_cache_hits = agg.Solver.cache_hits;
       solver_queries = agg.Solver.queries;
+      slice_static_branches = slice_static;
+      slice_cone_queries = slice_cone;
     }
   in
   {
@@ -1049,6 +1076,7 @@ let merge_outs ~total ~base ~started ~outs_resumed ~failed_shards
   let outs = List.map fst outs_resumed in
   let sum f = List.fold_left (fun acc (r, _) -> acc + f r) 0 outs in
   let agg = Solver.aggregate_stats () in
+  let slice_static, slice_cone = slice_counters () in
   let coverage =
     {
       total_shards = total;
@@ -1067,6 +1095,8 @@ let merge_outs ~total ~base ~started ~outs_resumed ~failed_shards
       solver_cache_evictions = agg.Solver.cache_evictions;
       solver_cache_hits = agg.Solver.cache_hits;
       solver_queries = agg.Solver.queries;
+      slice_static_branches = slice_static;
+      slice_cone_queries = slice_cone;
     }
   in
   (* keep the coordinating domain's counter ahead of every id any worker
@@ -1203,7 +1233,16 @@ let explore_shard ~config ~different_from ~client ~server ~bits ~base ~started
     make_ctx ~config ~client ~different_from ~shard:(Some shard)
       ~recorder:(Some recorder) ~started
   in
-  let iconfig = { config.interp with Interp.shard = Some shard } in
+  let iconfig =
+    {
+      config.interp with
+      Interp.shard = Some shard;
+      (* fresh oracle per shard task: the memo table must not cross
+         domains, and a retried task must not see a crashed attempt's *)
+      Interp.oracle =
+        (if config.use_slice then Some (Slice.make_oracle ()) else None);
+    }
+  in
   Obs.span Obs.Server_se (fun () ->
       ignore (Interp.run ~config:iconfig ~hooks:(hooks_of ctx) server));
   if config.cancel () then (None, ctx.n_abandoned)

@@ -48,6 +48,13 @@ type config = {
   explain_drops : bool;
       (* record an unsat-core explanation for every dropped client path
          (requires incremental_bindings) *)
+  use_slice : bool;
+      (* answer server branch feasibility through the static-slice oracle
+         ({!Achilles_slice.Slice.make_oracle}): cone-restricted, memoized
+         queries with equality chains decided statically, and [max_depth]
+         counting only message-tainted decisions. Verdict-preserving on
+         clean runs, so the report digest is byte-identical either way.
+         Defaults to {!Achilles_slice.Slice.enabled} ([ACHILLES_SLICE]) *)
   mask : string list option; (* analyzed fields; None = all *)
   witnesses_per_path : int; (* concrete witnesses enumerated per path *)
   distinct_by : (Bv.t array -> Term.var array -> Term.t) option;
@@ -157,6 +164,10 @@ type coverage = {
   solver_cache_evictions : int; (* entries dropped at the size cap *)
   solver_cache_hits : int; (* queries answered from the cache *)
   solver_queries : int; (* total queries (denominator of the hit rate) *)
+  (* slice-oracle effectiveness (process-wide since the last stats reset,
+     like the cache stats; never digested): *)
+  slice_static_branches : int; (* branch feasibilities settled statically *)
+  slice_cone_queries : int; (* cone-restricted queries replacing full-path ones *)
 }
 
 val coverage_complete : coverage -> bool

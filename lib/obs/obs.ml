@@ -13,6 +13,7 @@ type phase =
   | Report
   | Dist
   | Filter_eval
+  | Slice
 
 let all_phases =
   [
@@ -26,6 +27,7 @@ let all_phases =
     Report;
     Dist;
     Filter_eval;
+    Slice;
   ]
 
 let phase_name = function
@@ -39,6 +41,7 @@ let phase_name = function
   | Report -> "report"
   | Dist -> "dist"
   | Filter_eval -> "filter_eval"
+  | Slice -> "slice"
 
 let phase_of_name s = List.find_opt (fun p -> phase_name p = s) all_phases
 
@@ -53,6 +56,7 @@ let phase_index = function
   | Report -> 7
   | Dist -> 8
   | Filter_eval -> 9
+  | Slice -> 10
 
 let n_phases = List.length all_phases
 

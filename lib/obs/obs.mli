@@ -29,6 +29,7 @@ type phase =
   | Report           (** report rendering *)
   | Dist             (** coordinator/worker lease protocol and idle time *)
   | Filter_eval      (** one compiled-filter verdict ([Achilles_filter]) *)
+  | Slice            (** static dependency slicing ([Achilles_slice]) *)
 
 val all_phases : phase list
 

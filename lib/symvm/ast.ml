@@ -86,6 +86,32 @@ let find_proc program name =
 
 let buffer_length program name = List.assoc_opt name program.buffers
 
+(* Structural accessors for program-wide analyses (e.g. the dependency
+   slice): the top-level blocks with the name of the procedure owning each,
+   a statement's directly evaluated expressions, and its nested blocks. *)
+
+let top_blocks program =
+  ("main", program.main)
+  :: List.map (fun p -> (p.proc_name, p.body)) program.procs
+
+let stmt_exprs = function
+  | Assign (_, e) | If (e, _, _) | Switch (e, _, _) | While (e, _) | Assume e
+    ->
+      [ e ]
+  | Store (_, off, v) -> [ off; v ]
+  | Call { args; _ } -> args
+  | Return (Some e) | Send { dst = e; _ } -> [ e ]
+  | Return None
+  | Receive _ | Read_input _ | Make_symbolic _ | Make_buffer_symbolic _
+  | Drop_path | Mark_accept _ | Mark_reject _ | Halt | Abort _ ->
+      []
+
+let stmt_blocks = function
+  | If (_, t, f) -> [ t; f ]
+  | Switch (_, cases, default) -> List.map snd cases @ [ default ]
+  | While (_, b) -> [ b ]
+  | _ -> []
+
 (* A light well-formedness check: every named buffer/procedure exists and
    arities match. Width correctness is enforced dynamically by Term's sort
    checker. *)

@@ -94,6 +94,17 @@ type program = {
 val find_proc : program -> string -> proc option
 val buffer_length : program -> string -> int option
 
+val top_blocks : program -> (string * block) list
+(** [("main", main)] followed by every procedure's [(name, body)] — the
+    sweep order program-wide analyses (the dependency slice) iterate over. *)
+
+val stmt_exprs : stmt -> expr list
+(** The expressions a statement evaluates directly (conditions, right-hand
+    sides, offsets, arguments); nested blocks are not descended into. *)
+
+val stmt_blocks : stmt -> block list
+(** The blocks nested directly under a statement ([If]/[Switch]/[While]). *)
+
 val validate : program -> (unit, string list) result
 (** Check that every referenced buffer and procedure exists and call
     arities match. Width errors surface dynamically via [Term]'s sort

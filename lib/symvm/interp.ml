@@ -30,6 +30,20 @@ let shard_owns sh route =
   shard_compatible sh route
   && sh.shard_index lsr min (String.length route) sh.shard_bits = 0
 
+(* Three-way feasibility verdict. [Feasible_exact] is a real [Sat]: the
+   extended path is known satisfiable, preserving the invariant behind
+   [State.path_exact]. [Feasible_unknown] keeps the path (conservative) but
+   poisons exactness down the subtree. *)
+type feasibility = Feasible_exact | Feasible_unknown | Infeasible
+
+(* A feasibility oracle decides [path /\ cond] without (necessarily) paying
+   for a full-path solver query — e.g. the slice oracle's cone
+   factorization. Only consulted while [State.path_exact] holds, i.e. the
+   path itself is known satisfiable; verdicts must coincide with what the
+   scratch query over the full path would answer (modulo Unknown, which may
+   only degrade toward [Feasible_unknown]). *)
+type oracle = path:Term.t list -> Term.t -> feasibility
+
 type config = {
   max_unroll : int;
   max_depth : int;
@@ -45,6 +59,9 @@ type config = {
   shard : shard option;
       (* when set, forks creating a route incompatible with the shard are
          not explored (the sibling shard explores them) *)
+  oracle : oracle option;
+      (* feasibility oracle for branch/assume checks on exact paths; when
+         set, [max_depth] also counts only message-tainted decisions *)
 }
 
 let default_config =
@@ -58,6 +75,7 @@ let default_config =
     initial_path = [];
     auto_classify = None;
     shard = None;
+    oracle = None;
   }
 
 (* §5.1's default heuristic: a handler that replied to the analyzed message
@@ -110,8 +128,12 @@ type run_stats = {
   mutable states_created : int;
   mutable forks : int;
   mutable pruned : int;
-  mutable truncated : int;
+  mutable truncated_depth : int;
+  mutable truncated_unroll : int;
+  mutable truncated_states : int;
 }
+
+let truncated s = s.truncated_depth + s.truncated_unroll + s.truncated_states
 
 type run = { terminals : State.t list; stats : run_stats }
 
@@ -246,14 +268,39 @@ let rec eval ctx st (locals : locals) (e : Ast.expr) : Term.t =
    check) and only [cond] itself is new. [--no-incremental] falls back to
    the historical scratch query [check (cond :: path)]. *)
 let feasible ctx (st : State.t) cond =
-  match
-    Solver.check_assuming
-      ?conflict_limit:ctx.config.feasibility_conflict_limit
-      ~path:st.State.path [ cond ]
-  with
-  | Solver.Sat _ -> true
-  | Solver.Unsat -> false
-  | Solver.Unknown -> true (* conservative: keep exploring *)
+  match ctx.config.oracle with
+  | Some oracle when st.State.path_exact -> oracle ~path:st.State.path cond
+  | _ -> (
+      Obs.count "interp.feasibility_queries";
+      match
+        Solver.check_assuming
+          ?conflict_limit:ctx.config.feasibility_conflict_limit
+          ~path:st.State.path [ cond ]
+      with
+      | Solver.Sat _ -> Feasible_exact
+      | Solver.Unsat -> Infeasible
+      | Solver.Unknown -> Feasible_unknown (* conservative: keep exploring *))
+
+(* Record the exactness of the verdict that admitted a conjunct: once a path
+   carries an Unknown-admitted constraint it is no longer known satisfiable
+   and the oracle's factorization argument stops applying below it. *)
+let mark_exactness (st : State.t) = function
+  | Feasible_unknown when st.State.path_exact ->
+      { st with State.path_exact = false }
+  | _ -> st
+
+(* Does the condition read any byte of the analyzed message? Sorted-list
+   intersection over the memoized distinct-var-id lists. *)
+let message_tainted (st : State.t) cond =
+  match st.State.msg_vars with
+  | None -> false
+  | Some vars ->
+      let n = Array.length vars in
+      n > 0
+      &&
+      let lo = vars.(0).Term.id and hi = vars.(n - 1).Term.id in
+      (* msg vars are allocated as one consecutive run at the Receive *)
+      List.exists (fun id -> id >= lo && id <= hi) (Term.var_ids cond)
 
 let finish ctx (st : State.t) status =
   let status =
@@ -266,8 +313,25 @@ let finish ctx (st : State.t) status =
   ctx.hooks.on_terminal st;
   st
 
-let truncate ctx st reason =
-  ctx.stats.truncated <- ctx.stats.truncated + 1;
+(* Resource-bound cuts, labeled so E18 can attribute which bound bites.
+   The crash reason strings are part of terminal-state identity and must
+   not change. *)
+let truncate ctx st kind =
+  let reason =
+    match kind with
+    | `Depth ->
+        ctx.stats.truncated_depth <- ctx.stats.truncated_depth + 1;
+        Obs.count "interp.truncated_depth";
+        "max-depth"
+    | `Unroll ->
+        ctx.stats.truncated_unroll <- ctx.stats.truncated_unroll + 1;
+        Obs.count "interp.truncated_unroll";
+        "max-unroll"
+    | `States ->
+        ctx.stats.truncated_states <- ctx.stats.truncated_states + 1;
+        Obs.count "interp.truncated_states";
+        "max-states"
+  in
   finish ctx st (State.Crashed reason)
 
 let set_global (st : State.t) name t =
@@ -325,23 +389,43 @@ let branch ctx (st : State.t) cond ift iff : outcomes =
             ();
         true
       in
-      let t_feasible =
-        (not (State.has_conjunct st (Term.not_ cond) && subsumed "true"))
-        && feasible ctx st cond
+      let t_verdict =
+        if State.has_conjunct st (Term.not_ cond) && subsumed "true" then
+          Infeasible
+        else feasible ctx st cond
       in
-      let f_feasible =
-        (not (State.has_conjunct st cond && subsumed "false"))
-        && feasible ctx st (Term.not_ cond)
+      let f_verdict =
+        if State.has_conjunct st cond && subsumed "false" then Infeasible
+        else feasible ctx st (Term.not_ cond)
       in
-      match t_feasible, f_feasible with
-      | true, true ->
-          if st.State.depth + 1 > ctx.config.max_depth then
-            Seq.return (truncate ctx st "max-depth", String_map.empty, End)
+      let one_sided verdict cond side =
+        match add_constraint ctx (mark_exactness st verdict) cond with
+        | Some st -> side st
+        | None -> Seq.empty
+      in
+      match t_verdict, f_verdict with
+      | Infeasible, Infeasible ->
+          (* the current path was already infeasible; treat as dropped *)
+          Seq.return (finish ctx st State.Dropped, String_map.empty, End)
+      | Infeasible, f_verdict -> one_sided f_verdict (Term.not_ cond) iff
+      | t_verdict, Infeasible -> one_sided t_verdict cond ift
+      | t_verdict, f_verdict ->
+          (* With an oracle installed, only message-tainted decisions spend
+             depth budget: untainted forks (local/config state) are the ones
+             slicing makes cheap, so they must not starve the interesting
+             depth. Without an oracle, every fork counts, as before. *)
+          let next_depth =
+            if ctx.config.oracle <> None && not (message_tainted st cond) then
+              st.State.depth
+            else st.State.depth + 1
+          in
+          if next_depth > ctx.config.max_depth then
+            Seq.return (truncate ctx st `Depth, String_map.empty, End)
           else if ctx.stats.states_created + 2 > ctx.config.max_states then
-            Seq.return (truncate ctx st "max-states", String_map.empty, End)
+            Seq.return (truncate ctx st `States, String_map.empty, End)
           else begin
             ctx.stats.forks <- ctx.stats.forks + 1;
-            let continue side cond bit : outcomes =
+            let continue side verdict cond bit : outcomes =
              fun () ->
               (* deferred to forcing time: the true subtree is explored
                  (and numbered) in full before this child even exists *)
@@ -354,26 +438,16 @@ let branch ctx (st : State.t) cond ift iff : outcomes =
               if skip then Seq.Nil
               else
                 let child = fork_child ctx st route in
-                let child = { child with State.depth = child.State.depth + 1 } in
+                let child = { child with State.depth = next_depth } in
+                let child = mark_exactness child verdict in
                 match add_constraint ctx child cond with
                 | Some child -> side child ()
                 | None -> Seq.Nil
             in
             Seq.append
-              (continue ift cond "0")
-              (continue iff (Term.not_ cond) "1")
-          end
-      | true, false -> (
-          match add_constraint ctx st cond with
-          | Some st -> ift st
-          | None -> Seq.empty)
-      | false, true -> (
-          match add_constraint ctx st (Term.not_ cond) with
-          | Some st -> iff st
-          | None -> Seq.empty)
-      | false, false ->
-          (* the current path was already infeasible; treat as dropped *)
-          Seq.return (finish ctx st State.Dropped, String_map.empty, End))
+              (continue ift t_verdict cond "0")
+              (continue iff f_verdict (Term.not_ cond) "1")
+          end)
 
 (* --- statement execution ------------------------------------------------------ *)
 
@@ -568,12 +642,13 @@ and exec_stmt_unsafe ctx (st : State.t) (locals : locals) (stmt : Ast.stmt) :
       match Term.bool_value cond with
       | Some true -> Seq.return (st, locals, Fall)
       | Some false -> Seq.return (finish ctx st State.Dropped, locals, End)
-      | None ->
-          if feasible ctx st cond then
-            match add_constraint ctx st cond with
-            | Some st -> Seq.return (st, locals, Fall)
-            | None -> Seq.empty
-          else Seq.return (finish ctx st State.Dropped, locals, End))
+      | None -> (
+          match feasible ctx st cond with
+          | Infeasible -> Seq.return (finish ctx st State.Dropped, locals, End)
+          | verdict -> (
+              match add_constraint ctx (mark_exactness st verdict) cond with
+              | Some st -> Seq.return (st, locals, Fall)
+              | None -> Seq.empty)))
   | Drop_path -> Seq.return (finish ctx st State.Dropped, locals, End)
   | Mark_accept label ->
       (* accept/reject markers classify the handling of the analyzed
@@ -590,7 +665,7 @@ and exec_stmt_unsafe ctx (st : State.t) (locals : locals) (stmt : Ast.stmt) :
   | Abort reason -> Seq.return (finish ctx st (State.Crashed reason), locals, End)
 
 and exec_while ctx st locals c body budget =
-  if budget = 0 then Seq.return (truncate ctx st "max-unroll", locals, End)
+  if budget = 0 then Seq.return (truncate ctx st `Unroll, locals, End)
   else
     let cond = as_bool (eval ctx st locals c) in
     branch ctx st cond
@@ -633,6 +708,9 @@ let initial_state ctx =
     globals;
     buffers;
     path = List.rev ctx.config.initial_path;
+    (* [initial_path] is satisfiable by construction (concrete-run prefixes
+       and havoc bounds), which is what seeds the oracle's invariant *)
+    path_exact = true;
     depth = 0;
     sent = [];
     received = 0;
@@ -643,7 +721,16 @@ let initial_state ctx =
   }
 
 let run ?(config = default_config) ?(hooks = default_hooks) program =
-  let stats = { states_created = 1; forks = 0; pruned = 0; truncated = 0 } in
+  let stats =
+    {
+      states_created = 1;
+      forks = 0;
+      pruned = 0;
+      truncated_depth = 0;
+      truncated_unroll = 0;
+      truncated_states = 0;
+    }
+  in
   let ctx = { program; config; hooks; stats; next_id = 0 } in
   let st = initial_state ctx in
   let outcomes = exec_block ctx st String_map.empty program.Ast.main in

@@ -39,6 +39,24 @@ val shard_owns : shard -> string -> bool
     per-state work (recording, witness enumeration) so that merging shard
     results needs no deduplication. *)
 
+(** Verdict of a branch/assume feasibility check. [Feasible_exact] is a real
+    [Sat] — the extended path is known satisfiable, which is what keeps
+    {!State.t.path_exact} true down that side. [Feasible_unknown] is the
+    conservative keep-exploring degradation (budget exhaustion, injected
+    fault, or an oracle that cannot decide): the side is still explored but
+    exactness is poisoned for the whole subtree. *)
+type feasibility = Feasible_exact | Feasible_unknown | Infeasible
+
+type oracle = path:Term.t list -> Term.t -> feasibility
+(** A feasibility oracle decides [path /\ cond] cheaper than a full-path
+    solver query (see [Achilles_slice.Slice.make_oracle]). It is consulted
+    only while the state's [path_exact] invariant holds — every conjunct of
+    [path] was admitted with an exact [Sat], so the path itself is known
+    satisfiable and factorization arguments (answering from a variable-
+    connected cone of the path) are sound. Verdicts must agree with the
+    full-path query on clean runs; under degradation an oracle may only err
+    toward [Feasible_unknown]. *)
+
 type config = {
   max_unroll : int; (* loop iterations per [While] per path *)
   max_depth : int; (* symbolic branch decisions per path *)
@@ -62,9 +80,17 @@ type config = {
       (* when set, forks whose child route is incompatible with the shard
          are skipped (a sibling shard explores them); [None] explores
          everything *)
+  oracle : oracle option;
+      (* when set, branch/assume feasibility on exact paths goes through the
+         oracle instead of a full-path solver query, and [max_depth] counts
+         only message-tainted branch decisions (forks on conditions reading
+         no byte of the analyzed message are free). Requires
+         [initial_path] to be satisfiable. [None] keeps the historical
+         behavior bit for bit. *)
 }
 
 val default_config : config
+(** [oracle] defaults to [None]. *)
 
 val classify_by_reply : State.t -> State.status option
 (** §5.1's default heuristic: replying to the analyzed message means the
@@ -92,8 +118,15 @@ type run_stats = {
   mutable states_created : int;
   mutable forks : int;
   mutable pruned : int; (* states dropped by [on_constraint] *)
-  mutable truncated : int; (* paths cut by depth/unroll/state bounds *)
+  mutable truncated_depth : int; (* paths cut by [max_depth] *)
+  mutable truncated_unroll : int; (* loops cut by [max_unroll] *)
+  mutable truncated_states : int; (* forks refused by [max_states] *)
 }
+
+val truncated : run_stats -> int
+(** Total paths cut by any resource bound (the pre-split lump sum). The
+    per-bound counters are also surfaced as [Obs] counters
+    [interp.truncated_depth] / [_unroll] / [_states]. *)
 
 type run = { terminals : State.t list; stats : run_stats }
 

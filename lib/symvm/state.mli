@@ -38,6 +38,12 @@ type t = {
   globals : Term.t String_map.t;
   buffers : Term.t array String_map.t;
   path : Term.t list;  (** path constraints, newest first *)
+  path_exact : bool;
+      (** [true] while every conjunct on [path] was admitted with an exact
+          [Sat] verdict, so the whole path is known satisfiable — the
+          invariant the slice oracle's cone factorization relies on. Turns
+          [false] (and stays false down the subtree) the first time a
+          conjunct is admitted on an [Unknown] degradation. *)
   depth : int;  (** branch decisions on symbolic data along this path *)
   sent : message list;  (** newest first *)
   received : int;  (** number of [Receive] statements executed *)

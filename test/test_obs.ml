@@ -108,7 +108,7 @@ let test_aggregate_across_domains () =
     (List.assoc_opt "obs.test_counter" snap.Obs.counters)
 
 let test_phase_names_total () =
-  Alcotest.(check int) "ten phases" 10 (List.length Obs.all_phases);
+  Alcotest.(check int) "eleven phases" 11 (List.length Obs.all_phases);
   List.iter
     (fun p ->
       match Obs.phase_of_name (Obs.phase_name p) with

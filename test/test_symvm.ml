@@ -206,7 +206,11 @@ let test_symbolic_unroll_bound () =
   in
   Alcotest.(check int) "completed unrollings" 4 (List.length accepted);
   Alcotest.(check bool) "some truncation" true (List.length truncated >= 1);
-  Alcotest.(check bool) "stat recorded" true (run.Interp.stats.Interp.truncated >= 1)
+  Alcotest.(check bool) "stat recorded" true
+    (run.Interp.stats.Interp.truncated_unroll >= 1);
+  Alcotest.(check int) "unroll is the only cut"
+    (Interp.truncated run.Interp.stats)
+    run.Interp.stats.Interp.truncated_unroll
 
 let test_symbolic_receive_protocol () =
   let open Builder in
