@@ -358,6 +358,8 @@ type manifest = {
   mf_conflicts : int option;
   mf_workers : int; (* shard decomposition derives from this *)
   mf_fingerprint : string; (* expected run fingerprint; drift check *)
+  mf_run_id : string; (* trace/status correlation id for the whole run *)
+  mf_trace : bool; (* workers mirror the coordinator's tracing choice *)
 }
 
 (* The search config a distributed run uses, identical on both sides.
@@ -495,6 +497,13 @@ let analyze name mask witnesses no_drop no_df no_prune no_incremental no_slice
       if no_incremental then Solver.set_incremental false;
       if no_slice then Slice.set_enabled false;
       install_signal_handlers ();
+      (* name this process before any trace stream opens, so the
+         trace_start meta event (and status.json) carry the run id *)
+      Obs.set_identity
+        ~run_id:(Obs.fresh_run_id ())
+        ~proc:
+          (if workers > 0 && work_dir <> None then "coordinator"
+           else "analyze");
       setup_trace trace;
       if verbose then install_verbose_sink ();
       Fun.protect
@@ -538,6 +547,8 @@ let analyze name mask witnesses no_drop no_df no_prune no_incremental no_slice
                   mf_conflicts = solver_budget;
                   mf_workers = workers;
                   mf_fingerprint = "";
+                  mf_run_id = fst (Obs.identity ());
+                  mf_trace = Obs.live ();
                 }
         | _ ->
             let solver_budget =
@@ -767,7 +778,20 @@ let worker workdir wid epoch =
       | exception _ ->
           Format.eprintf "achilles worker: unreadable manifest in %s@." workdir;
           2
-      | mf -> (
+      | mf ->
+          Obs.set_identity ~run_id:mf.mf_run_id
+            ~proc:(Printf.sprintf "worker-%03d" wid);
+          if mf.mf_trace then
+            Obs.Trace.enable
+              (Filename.concat workdir
+                 (Printf.sprintf "trace-worker-%03d.e%d.jsonl" wid epoch));
+          (* every exit path below — drift exit 2, SIGTERM drain, clean
+             drain — funnels through this [finally], so the per-worker
+             trace stream is always flushed and closed. The fault-injected
+             death path bypasses it by design ([Unix._exit]); the default
+             [die] closes the trace itself first. *)
+          Fun.protect ~finally:(fun () -> Obs.Trace.disable ())
+          @@ fun () -> (
           match find_target mf.mf_target with
           | Error e ->
               Format.eprintf "achilles worker: %s@." e;
@@ -971,7 +995,24 @@ let parse_address socket tcp =
   | None, None | Some _, Some _ ->
       Error "exactly one of --socket or --tcp is required"
 
-let serve filter_file socket tcp trace =
+(* --metrics takes one operand: HOST:PORT when it looks like one (has a
+   colon and no slash), otherwise a Unix-socket path *)
+let parse_metrics_address s =
+  match String.rindex_opt s ':' with
+  | Some _ when not (String.contains s '/') -> parse_address None (Some s)
+  | _ -> Ok (Daemon.Unix_socket s)
+
+let metrics_arg =
+  let doc =
+    "Also expose Prometheus text metrics (verdict counters, per-request \
+     latency histogram, frame drops, live phase counters) over HTTP at \
+     $(docv) — $(i,HOST:PORT) or a Unix-socket path. Scrapes are served \
+     from the daemon's select loop; they never block verdict traffic."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics" ] ~docv:"ADDR" ~doc)
+
+let serve filter_file socket tcp metrics trace =
   match Filter.load ~file:filter_file with
   | Error e ->
       Format.eprintf "serve: %s@." e;
@@ -981,27 +1022,44 @@ let serve filter_file socket tcp trace =
       | Error e ->
           Format.eprintf "serve: %s@." e;
           1
-      | Ok address ->
-          install_signal_handlers ();
-          setup_trace trace;
-          Format.printf "serving %a@." Filter.pp_summary filter;
-          (match address with
-          | Daemon.Unix_socket path -> Format.printf "listening on %s@." path
-          | Daemon.Tcp (host, port) ->
-              Format.printf "listening on %s:%d@." host port);
-          (* readiness marker for scripts: the socket exists once run is
-             entered, but flushing here lets a parent wait on our stdout *)
-          Format.printf "ready@.";
-          flush stdout;
-          Fun.protect ~finally:(fun () -> Obs.Trace.disable ())
-          @@ fun () ->
-          let stats =
-            Daemon.run ~filter ~address
-              ~stop:(fun () -> Atomic.get interrupted)
-              ()
+      | Ok address -> (
+          let metrics_address =
+            match metrics with
+            | None -> Ok None
+            | Some s -> Result.map Option.some (parse_metrics_address s)
           in
-          Format.printf "%a@." Daemon.pp_stats stats;
-          0)
+          match metrics_address with
+          | Error e ->
+              Format.eprintf "serve: --metrics: %s@." e;
+              1
+          | Ok metrics ->
+              install_signal_handlers ();
+              setup_trace trace;
+              Format.printf "serving %a@." Filter.pp_summary filter;
+              (match address with
+              | Daemon.Unix_socket path ->
+                  Format.printf "listening on %s@." path
+              | Daemon.Tcp (host, port) ->
+                  Format.printf "listening on %s:%d@." host port);
+              (match metrics with
+              | Some (Daemon.Unix_socket path) ->
+                  Format.printf "metrics on %s@." path
+              | Some (Daemon.Tcp (host, port)) ->
+                  Format.printf "metrics on %s:%d@." host port
+              | None -> ());
+              (* readiness marker for scripts: the socket exists once run is
+                 entered, but flushing here lets a parent wait on our stdout *)
+              Format.printf "ready@.";
+              flush stdout;
+              Fun.protect ~finally:(fun () -> Obs.Trace.disable ())
+              @@ fun () ->
+              let stats =
+                Daemon.run ?metrics ~filter ~address
+                  ~stop:(fun () -> Atomic.get interrupted)
+                  ()
+              in
+              Format.printf "%a@." Daemon.pp_stats stats;
+              0))
 
 let serve_cmd =
   Cmd.v
@@ -1018,9 +1076,13 @@ let serve_cmd =
               by the raw message bytes; each response is one verdict \
               character (A/T/U) and a 4-byte big-endian state id \
               (0xFFFFFFFF when there is none). Frames above 1 MiB drop the \
-              connection.";
+              connection. A length of 0xFFFFFFFF is the STATS sentinel: \
+              the daemon replies with a length-prefixed text block of its \
+              live statistics (see $(b,filter stats)).";
          ])
-    Term.(const serve $ filter_file_arg $ socket_arg $ tcp_arg $ trace_arg)
+    Term.(
+      const serve $ filter_file_arg $ socket_arg $ tcp_arg $ metrics_arg
+      $ trace_arg)
 
 let filter_info file =
   match Filter.load ~file with
@@ -1142,11 +1204,69 @@ let filter_send_cmd =
           verdicts (the daemon's wire protocol, exercised end to end)")
     Term.(const filter_send $ socket_arg $ tcp_arg $ hex_messages_all_arg)
 
+let filter_stats socket tcp =
+  match parse_address socket tcp with
+  | Error e ->
+      Format.eprintf "filter stats: %s@." e;
+      1
+  | Ok address -> (
+      let sockaddr, domain =
+        match address with
+        | Daemon.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+        | Daemon.Tcp (host, port) ->
+            (Unix.ADDR_INET (Unix.inet_addr_of_string host, port), Unix.PF_INET)
+      in
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      match Unix.connect fd sockaddr with
+      | exception Unix.Unix_error (err, _, _) ->
+          Format.eprintf "filter stats: connect: %s@." (Unix.error_message err);
+          1
+      | () ->
+          let read_exactly n =
+            let buf = Bytes.create n in
+            let rec go off =
+              if off >= n then buf
+              else
+                match Unix.read fd buf off (n - off) with
+                | 0 -> failwith "daemon closed the connection"
+                | k -> go (off + k)
+            in
+            go 0
+          in
+          let code =
+            try
+              (* the STATS sentinel: an impossible frame length *)
+              let req = Bytes.create 4 in
+              Bytes.set_int32_be req 0 0xFFFFFFFFl;
+              let _ = Unix.write fd req 0 4 in
+              let len =
+                Int32.to_int (Bytes.get_int32_be (read_exactly 4) 0)
+                land 0xFFFFFFFF
+              in
+              print_string (Bytes.to_string (read_exactly len));
+              0
+            with Failure e ->
+              Format.eprintf "filter stats: %s@." e;
+              1
+          in
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          code)
+
+let filter_stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Ask a running $(b,serve) daemon for its live statistics over the \
+          verdict socket (uptime, connection and message totals, verdict \
+          counters, dropped frames, latency quantiles) — one $(i,key value) \
+          line each, the same totals the $(b,--metrics) endpoint exports")
+    Term.(const filter_stats $ socket_arg $ tcp_arg)
+
 let filter_cmd =
   Cmd.group
     (Cmd.info "filter"
        ~doc:"Inspect, evaluate, and exercise compiled Trojan filters")
-    [ filter_info_cmd; filter_query_cmd; filter_send_cmd ]
+    [ filter_info_cmd; filter_query_cmd; filter_send_cmd; filter_stats_cmd ]
 
 (* --- trace inspection ------------------------------------------------------------- *)
 
@@ -1165,17 +1285,21 @@ let trace_summarize file =
         "Trace: %d events over %.3fs wall; %.1f%% of wall-clock attributed \
          to named phases@.@."
         s.events s.wall (100. *. s.attributed);
-      Format.printf "%-16s %10s %8s %10s %8s %10s@." "phase" "self(s)"
-        "share" "total(s)" "spans" "max(ms)";
+      Format.printf "%-16s %10s %8s %10s %8s %9s %9s %9s %10s@." "phase"
+        "self(s)" "share" "total(s)" "spans" "p50(ms)" "p95(ms)" "p99(ms)"
+        "max(ms)";
       let rows =
         List.sort (fun a b -> compare b.self_seconds a.self_seconds) s.rows
       in
       List.iter
         (fun r ->
-          Format.printf "%-16s %10.3f %7.1f%% %10.3f %8d %10.2f@." r.row_phase
-            r.self_seconds
+          let q p = 1000. *. Obs.estimate_quantile r.row_hist p in
+          Format.printf
+            "%-16s %10.3f %7.1f%% %10.3f %8d %9.2f %9.2f %9.2f %10.2f@."
+            r.row_phase r.self_seconds
             (if s.wall > 0. then 100. *. r.self_seconds /. s.wall else 0.)
-            r.total_seconds r.row_spans (1000. *. r.max_seconds))
+            r.total_seconds r.row_spans (q 0.5) (q 0.95) (q 0.99)
+            (1000. *. r.max_seconds))
         rows;
       if s.verdicts <> [] then begin
         Format.printf "@.solver verdicts:";
@@ -1231,10 +1355,87 @@ let trace_export_cmd =
           chrome://tracing")
     Term.(const trace_export $ trace_file_arg $ output_arg)
 
+let trace_merge srcs output =
+  match srcs with
+  | [] ->
+      Format.eprintf "trace merge: need at least one trace file@.";
+      1
+  | first :: _ -> (
+      let dst =
+        match output with Some o -> o | None -> first ^ ".merged.json"
+      in
+      match Obs.Chrome.merge ~srcs ~dst with
+      | Error e ->
+          Format.eprintf "trace merge: %s@." e;
+          1
+      | Ok (n, run_id) ->
+          Format.printf "merged %d streams%s into %s@." n
+            (match run_id with
+            | Some id -> Printf.sprintf " (run %s)" id
+            | None -> "")
+            dst;
+          0)
+
+let trace_merge_cmd =
+  let srcs_arg =
+    let doc =
+      "JSONL traces of one run: the coordinator's $(b,--trace) file plus \
+       the workers' $(i,trace-worker-*.jsonl) from the work directory."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let output_arg =
+    let doc = "Output path (default: $(i,FIRST).merged.json)." in
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Stitch the coordinator's and workers' JSONL traces into one \
+          Chrome/Perfetto timeline: one process track per stream, \
+          timestamps aligned on each stream's wall-clock origin, and a \
+          hard error if the streams carry different run ids")
+    Term.(const trace_merge $ srcs_arg $ output_arg)
+
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace" ~doc:"Inspect JSONL traces written by analyze --trace")
-    [ trace_summarize_cmd; trace_export_cmd ]
+    [ trace_summarize_cmd; trace_export_cmd; trace_merge_cmd ]
+
+(* --- run status ------------------------------------------------------------------- *)
+
+let status workdir =
+  match Dist.Status.load ~workdir with
+  | Error e ->
+      Format.eprintf "achilles status: %s@." e;
+      1
+  | Ok st ->
+      Format.printf "%a@." (Dist.Status.pp ?now:None) st;
+      0
+
+let status_cmd =
+  let work_dir_req =
+    let doc = "Work directory of the distributed run to inspect." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "work-dir" ] ~docv:"DIR" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Render the status.json a distributed run's coordinator keeps \
+          beside its leases: shard progress, solver throughput, cache hit \
+          rate, and per-worker liveness. Works on a live run (the file is \
+          updated atomically every second) and on a crashed one (the last \
+          written picture survives)."
+       ~man:
+         [
+           `S Cmdliner.Manpage.s_exit_status;
+           `P "0 when status.json was read; 1 when missing or unreadable.";
+         ])
+    Term.(const status $ work_dir_req)
 
 let () =
   let doc = "find Trojan messages in distributed system implementations" in
@@ -1254,4 +1455,5 @@ let () =
             serve_cmd;
             filter_cmd;
             trace_cmd;
+            status_cmd;
           ]))

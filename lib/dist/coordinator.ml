@@ -36,6 +36,7 @@ type config = {
   c_drain_grace : float; (* seconds to wait for drained workers to exit *)
   c_tick : float; (* event-loop sleep *)
   c_cancel : unit -> bool;
+  c_status_interval : float; (* status.json write cadence; <= 0 disables *)
 }
 
 let default_backoff =
@@ -57,6 +58,7 @@ let default_config =
     c_drain_grace = 5.0;
     c_tick = 0.01;
     c_cancel = (fun () -> false);
+    c_status_interval = 1.0;
   }
 
 type slot = {
@@ -66,6 +68,39 @@ type slot = {
   mutable respawn_at : float option;
   mutable gave_up : bool; (* drained, or out of respawns *)
 }
+
+(* Per-worker telemetry tracking, fed by Hello/Heartbeat/Snapshot traffic
+   and mirrored into status.json. Purely observational. *)
+type wtrack = {
+  mutable t_pid : int; (* -1 until Hello *)
+  mutable t_last_seen : float;
+  mutable t_shard : int; (* -1 when idle *)
+  mutable t_phase : string;
+  mutable t_snap : Obs.snapshot option; (* latest cumulative snapshot *)
+}
+
+(* Where did this worker spend its time since the previous snapshot? The
+   snapshots are cumulative, so the dominant phase is the largest positive
+   seconds delta; a brand-new worker falls back to its largest total. *)
+let dominant_phase ~prev ~cur =
+  let prev_sec p =
+    match prev with
+    | Some s -> (
+        match List.assoc_opt p s.Obs.phases with
+        | Some m -> m.Obs.seconds
+        | None -> 0.)
+    | None -> 0.
+  in
+  let pick f =
+    List.fold_left
+      (fun (bn, bd) (p, m) ->
+        let d = f p m in
+        if d > bd then (Obs.phase_name p, d) else (bn, bd))
+      ("", 0.) cur.Obs.phases
+  in
+  match pick (fun p m -> m.Obs.seconds -. prev_sec p) with
+  | "", _ -> fst (pick (fun _ m -> m.Obs.seconds))
+  | name, _ -> name
 
 (* --- resume: recover fencing floor and completed shards from disk ------- *)
 
@@ -119,8 +154,11 @@ let resume_from_disk table outs ~workdir ~fingerprint =
 
 (* --- the event loop ------------------------------------------------------ *)
 
-let run ?(config = default_config) ~workdir ~job ~spawn ?manifest () =
+let run ?(config = default_config) ?run_id ~workdir ~job ~spawn ?manifest () =
   let job : Worker.job = job in
+  let run_id =
+    match run_id with Some id -> id | None -> fst (Obs.identity ())
+  in
   let started = Unix.gettimeofday () in
   Lease.ensure_dir workdir;
   Lease.ensure_dir (Lease.inbox_dir workdir);
@@ -153,6 +191,81 @@ let run ?(config = default_config) ~workdir ~job ~spawn ?manifest () =
   let slots =
     Array.init config.c_workers (fun wid ->
         { wid; handle = None; epoch = 0; respawn_at = Some 0.0; gave_up = false })
+  in
+  let wtracks : (int, wtrack) Hashtbl.t = Hashtbl.create 8 in
+  let track wid =
+    match Hashtbl.find_opt wtracks wid with
+    | Some t -> t
+    | None ->
+        let t =
+          { t_pid = -1; t_last_seen = 0.; t_shard = -1; t_phase = ""; t_snap = None }
+        in
+        Hashtbl.add wtracks wid t;
+        t
+  in
+  let touch ?pid ?shard wid ~now =
+    let t = track wid in
+    t.t_last_seen <- now;
+    (match pid with Some p -> t.t_pid <- p | None -> ());
+    match shard with Some s -> t.t_shard <- s | None -> ()
+  in
+  let last_status = ref 0. in
+  let write_status ~state ~now =
+    if config.c_status_interval > 0. then begin
+      last_status := now;
+      let merged =
+        Hashtbl.fold
+          (fun _ t acc ->
+            match t.t_snap with
+            | Some s -> Obs.Snapshot.merge acc s
+            | None -> acc)
+          wtracks
+          (Obs.Snapshot.empty ())
+      in
+      let counter s name =
+        Option.value ~default:0 (List.assoc_opt name s.Obs.counters)
+      in
+      let workers =
+        Hashtbl.fold
+          (fun wid t acc ->
+            {
+              Status.w_wid = wid;
+              w_pid = t.t_pid;
+              w_epoch =
+                (if wid >= 0 && wid < config.c_workers then
+                   max 0 (slots.(wid).epoch - 1)
+                 else 0);
+              w_last_seen = t.t_last_seen;
+              w_shard = t.t_shard;
+              w_phase = t.t_phase;
+              w_queries =
+                (match t.t_snap with
+                | Some s -> counter s "solver.queries"
+                | None -> 0);
+            }
+            :: acc)
+          wtracks []
+      in
+      ignore
+        (Status.save ~workdir
+           {
+             Status.s_run_id = run_id;
+             s_state = state;
+             s_updated = now;
+             s_started = started;
+             s_shards_total = total;
+             s_done = List.length (Lease.Table.done_tokens table);
+             s_leased = Lease.Table.leased_count table;
+             s_pending = Lease.Table.pending_count table;
+             s_uncovered = List.length (Lease.Table.uncovered table);
+             s_reassignments = Lease.Table.reassignments table;
+             s_queries = counter merged "solver.queries";
+             s_cache_hits = counter merged "solver.cache_hits";
+             s_cache_misses = counter merged "solver.cache_misses";
+             s_workers = workers;
+             s_counters = merged.Obs.counters;
+           })
+    end
   in
   let spawn_slot slot ~now:_ =
     slot.respawn_at <- None;
@@ -194,9 +307,19 @@ let run ?(config = default_config) ~workdir ~job ~spawn ?manifest () =
     let now = Unix.gettimeofday () in
     match msg with
     | Lease.Hello { wid; pid } ->
+        touch wid ~pid ~now;
         Lease.emit_worker_event ~name:"hello"
           ~args:[ ("wid", Obs.I wid); ("pid", Obs.I pid) ]
+    | Lease.Snapshot { wid; shard; snap } ->
+        let t = track wid in
+        t.t_last_seen <- now;
+        t.t_shard <- shard;
+        t.t_phase <- dominant_phase ~prev:t.t_snap ~cur:snap;
+        t.t_snap <- Some snap;
+        Lease.emit_worker_event ~name:"snapshot"
+          ~args:[ ("wid", Obs.I wid); ("shard", Obs.I shard) ]
     | Lease.Request { wid } ->
+        touch wid ~shard:(-1) ~now;
         if !draining || wid < 0 || wid >= config.c_workers then
           (* unknown wids are strays from another incarnation: drain them *)
           reply wid Lease.Drain
@@ -221,6 +344,7 @@ let run ?(config = default_config) ~workdir ~job ~spawn ?manifest () =
               else reply wid Lease.Wait
         end
     | Lease.Heartbeat { wid; shard; token } -> (
+        touch wid ~shard ~now;
         match
           Lease.Table.renew table ~now ~ttl:config.c_lease_ttl ~worker:wid
             ~shard ~token
@@ -237,6 +361,7 @@ let run ?(config = default_config) ~workdir ~job ~spawn ?manifest () =
                   ("wid", Obs.I wid);
                 ])
     | Lease.Completed { wid; shard; token } -> (
+        touch wid ~shard:(-1) ~now;
         (* validate the checkpoint before the table accepts the
            completion: Done must imply a merged log in hand *)
         let loaded =
@@ -276,6 +401,7 @@ let run ?(config = default_config) ~workdir ~job ~spawn ?manifest () =
             | `Reassignable | `Exhausted -> Lease.remove_lease ~workdir ~shard
             | `Stale -> ()))
     | Lease.Failed { wid; shard; token; abandoned = ab } -> (
+        touch wid ~shard:(-1) ~now;
         abandoned := !abandoned + ab;
         match Lease.Table.fail table ~shard ~token with
         | `Reassignable ->
@@ -293,6 +419,7 @@ let run ?(config = default_config) ~workdir ~job ~spawn ?manifest () =
               ~args:[ ("shard", Obs.I shard) ]
         | `Stale -> ())
     | Lease.Bye { wid } ->
+        touch wid ~now;
         if wid >= 0 && wid < config.c_workers then begin
           slots.(wid).gave_up <- true;
           Lease.emit_worker_event ~name:"worker_bye" ~args:[ ("wid", Obs.I wid) ]
@@ -363,6 +490,10 @@ let run ?(config = default_config) ~workdir ~job ~spawn ?manifest () =
                 ~args:[ ("shard", Obs.I shard) ])
           (Lease.Table.expire table ~now);
         poll_slots ~now;
+        if
+          config.c_status_interval > 0.
+          && now -. !last_status >= config.c_status_interval
+        then write_status ~state:"running" ~now;
         if config.c_cancel () then start_drain ();
         if Lease.Table.settled table then begin
           start_drain ();
@@ -420,6 +551,8 @@ let run ?(config = default_config) ~workdir ~job ~spawn ?manifest () =
               slot.handle <- None
           | None -> ())
         slots);
+  (* final status: the run is settled (or cancelled); ages freeze here *)
+  write_status ~state:"done" ~now:(Unix.gettimeofday ());
   let outs_resumed =
     List.filter_map
       (fun (shard, _token, resumed) ->

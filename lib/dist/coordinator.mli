@@ -30,14 +30,19 @@ type config = {
   c_drain_grace : float; (* wait for drained workers before killing *)
   c_tick : float; (* event-loop sleep *)
   c_cancel : unit -> bool; (* SIGINT/SIGTERM drain *)
+  c_status_interval : float;
+      (* cadence of atomic status.json writes aggregating worker telemetry
+         snapshots; <= 0 disables status entirely *)
 }
 
 val default_config : config
 (** 2 workers, 10 s TTL, budget 5, 10 respawns, exponential backoff from
-    50 ms with +-25% jitter capped at 5 s, 5 s drain grace, 10 ms tick. *)
+    50 ms with +-25% jitter capped at 5 s, 5 s drain grace, 10 ms tick,
+    1 s status interval. *)
 
 val run :
   ?config:config ->
+  ?run_id:string ->
   workdir:string ->
   job:Worker.job ->
   spawn:spawner ->
@@ -51,7 +56,9 @@ val run :
     on disk raise the fencing floor so a previous incarnation's orphans
     can never win a race. [manifest], when given, is written atomically
     to [workdir/manifest] before any worker is spawned (process workers
-    read it to rebuild the job). *)
+    read it to rebuild the job). [run_id] (default: the process identity's
+    run id) is stamped into status.json; telemetry never affects the
+    report. *)
 
 val process_spawner :
   prog:string -> argv:string array -> unit -> spawner

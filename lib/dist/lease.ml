@@ -134,6 +134,7 @@ type to_coordinator =
   | Hello of { wid : int; pid : int }
   | Request of { wid : int }
   | Heartbeat of { wid : int; shard : int; token : int }
+  | Snapshot of { wid : int; shard : int; snap : Obs.snapshot }
   | Completed of { wid : int; shard : int; token : int }
   | Failed of { wid : int; shard : int; token : int; abandoned : int }
   | Bye of { wid : int }
@@ -145,13 +146,26 @@ let encode_to_coordinator = function
   | Request { wid } -> Printf.sprintf "request %d" wid
   | Heartbeat { wid; shard; token } ->
       Printf.sprintf "heartbeat %d %d %d" wid shard token
+  | Snapshot { wid; shard; snap } ->
+      (* multi-line: the header line, then the snapshot codec text — the
+         mailbox transport carries whole files, not lines *)
+      Printf.sprintf "snap %d %d\n%s" wid shard (Obs.Snapshot.encode snap)
   | Completed { wid; shard; token } ->
       Printf.sprintf "done %d %d %d" wid shard token
   | Failed { wid; shard; token; abandoned } ->
       Printf.sprintf "failed %d %d %d %d" wid shard token abandoned
   | Bye { wid } -> Printf.sprintf "bye %d" wid
 
-let parse_to_coordinator line =
+let parse_to_coordinator content =
+  (* Only the first line routes; a multi-line body (Snapshot) rides below
+     it. Single-line messages see [rest = ""] exactly as before. *)
+  let line, rest =
+    match String.index_opt content '\n' with
+    | Some i ->
+        ( String.sub content 0 i,
+          String.sub content (i + 1) (String.length content - i - 1) )
+    | None -> (content, "")
+  in
   match String.split_on_char ' ' (String.trim line) with
   | [ "hello"; w; p ] -> (
       match (int_of_string_opt w, int_of_string_opt p) with
@@ -162,6 +176,13 @@ let parse_to_coordinator line =
   | [ "heartbeat"; w; s; t ] -> (
       match (int_of_string_opt w, int_of_string_opt s, int_of_string_opt t) with
       | Some wid, Some shard, Some token -> Some (Heartbeat { wid; shard; token })
+      | _ -> None)
+  | [ "snap"; w; s ] -> (
+      match (int_of_string_opt w, int_of_string_opt s) with
+      | Some wid, Some shard -> (
+          match Obs.Snapshot.decode rest with
+          | Ok snap -> Some (Snapshot { wid; shard; snap })
+          | Error _ -> None)
       | _ -> None)
   | [ "done"; w; s; t ] -> (
       match (int_of_string_opt w, int_of_string_opt s, int_of_string_opt t) with

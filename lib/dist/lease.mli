@@ -77,6 +77,11 @@ type to_coordinator =
   | Hello of { wid : int; pid : int }
   | Request of { wid : int }  (** idle worker asking for a shard *)
   | Heartbeat of { wid : int; shard : int; token : int }
+  | Snapshot of { wid : int; shard : int; snap : Achilles_obs.Obs.snapshot }
+      (** periodic telemetry: the worker's cumulative metrics state
+          ({!Achilles_obs.Obs.Snapshot} codec, multi-line message).
+          [shard] is the shard currently held, [-1] when idle. Purely
+          observational — never affects leases or the merge. *)
   | Completed of { wid : int; shard : int; token : int }
       (** checkpoint for [token] is on disk *)
   | Failed of { wid : int; shard : int; token : int; abandoned : int }

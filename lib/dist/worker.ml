@@ -40,6 +40,9 @@ let job_of ~config ?different_from ~client ~server () =
 
 type params = {
   heartbeat_interval : float;
+  snapshot_interval : float;
+      (* how often to piggyback an Obs.Snapshot on the heartbeat tick;
+         0 (or negative) disables telemetry snapshots entirely *)
   poll_sleep : float; (* idle-loop sleep between mailbox polls *)
   orphan_timeout : float;
       (* exit if the coordinator has been silent this long while we are
@@ -62,6 +65,7 @@ let int_env name default =
 let params_of_env () =
   {
     heartbeat_interval = float_env "ACHILLES_HEARTBEAT_INTERVAL" 0.5;
+    snapshot_interval = float_env "ACHILLES_SNAPSHOT_INTERVAL" 1.0;
     poll_sleep = 0.02;
     orphan_timeout = float_env "ACHILLES_WORKER_ORPHAN_TIMEOUT" 30.0;
     fault_rate = float_env "ACHILLES_WORKER_FAULT_RATE" 0.0;
@@ -86,9 +90,46 @@ type t = {
   mutable pending_grant : (int * int) option;
   mutable saw_wait : bool;
   mutable last_heartbeat : float;
+  mutable last_snapshot : float;
 }
 
 let send w msg = Lease.Mailbox.send w.inbox (Lease.encode_to_coordinator msg)
+
+(* The worker's cumulative metrics state: Obs.aggregate plus the solver's
+   own stats (cache hit/miss exist only as trace events otherwise)
+   injected as counters so the coordinator's status can sum them. *)
+let telemetry_snapshot () =
+  let snap = Obs.aggregate () in
+  let st = Achilles_smt.Solver.aggregate_stats () in
+  let solver_counters =
+    List.filter
+      (fun (_, n) -> n > 0)
+      [
+        ("solver.queries", st.Achilles_smt.Solver.queries);
+        ("solver.cache_hits", st.Achilles_smt.Solver.cache_hits);
+        ("solver.cache_misses", st.Achilles_smt.Solver.cache_misses);
+      ]
+  in
+  {
+    snap with
+    Obs.counters =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (solver_counters @ snap.Obs.counters);
+  }
+
+let send_snapshot w ~shard =
+  if w.params.snapshot_interval > 0. then
+    send w (Lease.Snapshot { wid = w.wid; shard; snap = telemetry_snapshot () })
+
+let snapshot_tick w ~shard ~now =
+  if
+    w.params.snapshot_interval > 0.
+    && now -. w.last_snapshot >= w.params.snapshot_interval
+  then begin
+    w.last_snapshot <- now;
+    send_snapshot w ~shard
+  end
 
 let maybe_die w =
   if w.params.fault_rate > 0. then
@@ -119,7 +160,8 @@ let heartbeat_tick w ~shard ~token =
     w.last_heartbeat <- now;
     maybe_die w;
     consume_mailbox w;
-    send w (Lease.Heartbeat { wid = w.wid; shard; token })
+    send w (Lease.Heartbeat { wid = w.wid; shard; token });
+    snapshot_tick w ~shard ~now
   end
 
 let run_shard w ~shard ~token ~started =
@@ -172,7 +214,16 @@ let run_shard w ~shard ~token ~started =
 
 let run ~workdir ~wid ?(epoch = 0) ?params ?die ~job () =
   let params = match params with Some p -> p | None -> params_of_env () in
-  let die = match die with Some d -> d | None -> fun () -> Unix._exit 137 in
+  let die =
+    match die with
+    | Some d -> d
+    | None ->
+        fun () ->
+          (* _exit skips at_exit: close the trace here or a fault-injected
+             kill leaves a dangling (though still line-complete) stream *)
+          Obs.Trace.disable ();
+          Unix._exit 137
+  in
   let w =
     {
       wid;
@@ -188,6 +239,7 @@ let run ~workdir ~wid ?(epoch = 0) ?params ?die ~job () =
       pending_grant = None;
       saw_wait = false;
       last_heartbeat = Unix.gettimeofday ();
+      last_snapshot = Unix.gettimeofday ();
     }
   in
   let started = Unix.gettimeofday () in
@@ -219,6 +271,7 @@ let run ~workdir ~wid ?(epoch = 0) ?params ?die ~job () =
         end
         else begin
           Unix.sleepf params.poll_sleep;
+          snapshot_tick w ~shard:(-1) ~now:(Unix.gettimeofday ());
           w.saw_wait <- false;
           consume_mailbox w;
           (* any reply (grant, wait, drain) proves the coordinator is
@@ -237,6 +290,8 @@ let run ~workdir ~wid ?(epoch = 0) ?params ?die ~job () =
           end
         end
   done;
+  (* final snapshot so the coordinator's status reflects finished work *)
+  send_snapshot w ~shard:(-1);
   send w (Lease.Bye { wid });
   Lease.emit_worker_event ~name:"bye"
     ~args:

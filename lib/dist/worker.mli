@@ -37,6 +37,9 @@ val job_of :
 
 type params = {
   heartbeat_interval : float;
+  snapshot_interval : float;
+      (** telemetry snapshot cadence (piggybacked on heartbeats and idle
+          polls); [0.] disables snapshots *)
   poll_sleep : float;
   orphan_timeout : float;
   fault_rate : float;
@@ -45,6 +48,7 @@ type params = {
 
 val params_of_env : unit -> params
 (** Defaults, overridable via [ACHILLES_HEARTBEAT_INTERVAL] (0.5 s),
+    [ACHILLES_SNAPSHOT_INTERVAL] (1 s; 0 disables telemetry snapshots),
     [ACHILLES_WORKER_ORPHAN_TIMEOUT] (30 s), [ACHILLES_WORKER_FAULT_RATE]
     (0: per-heartbeat-tick death probability), and
     [ACHILLES_WORKER_FAULT_SEED]. *)
@@ -65,5 +69,6 @@ val run :
 (** Run the worker loop until drain / cancellation / orphan exit.
     [epoch] is the respawn count, mixed into the fault PRNG so a
     respawned worker does not die at the same poll forever. [die]
-    defaults to [Unix._exit 137] (a real process death); in-process
-    workers pass [fun () -> raise Killed]. *)
+    defaults to closing any open trace stream and then [Unix._exit 137]
+    (a real process death — [_exit] skips [at_exit], so the trace must be
+    closed here); in-process workers pass [fun () -> raise Killed]. *)

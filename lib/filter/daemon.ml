@@ -8,17 +8,32 @@ type stats = {
   accepts : int;
   trojan_suspects : int;
   unknowns : int;
+  dropped_frames : int;
 }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "%d connections, %d messages: %d accept, %d trojan-suspect, %d unknown"
+    "%d connections, %d messages: %d accept, %d trojan-suspect, %d unknown, %d \
+     dropped"
     s.connections s.messages s.accepts s.trojan_suspects s.unknowns
+    s.dropped_frames
+
+(* Frame length sentinel: a client sending 0xFFFFFFFF as the length word asks
+   for a stats reply instead of a verdict. Historically any frame over
+   [max_frame] dropped the connection, so no well-behaved client ever sent
+   this — reserving it is backward-compatible. *)
+let stats_sentinel = 0xFFFFFFFF
 
 type conn = {
   fd : Unix.file_descr;
   buf : Buffer.t; (* bytes received, not yet consumed as frames *)
+  lat_hist : int array; (* per-connection verdict latency, log2-µs buckets *)
+  mutable lat_sum : float;
 }
+
+(* A metrics (HTTP) connection: accumulate the request until the blank line,
+   answer once, close. *)
+type mconn = { m_fd : Unix.file_descr; m_buf : Buffer.t }
 
 let be32_of buf off =
   let b i = Char.code (Buffer.nth buf (off + i)) in
@@ -50,26 +65,40 @@ let write_all fd bytes =
 
 exception Drop_connection
 
-let run ?(max_frame = 1 lsl 20) ~filter ~address ~stop () =
+let bind_listener = function
+  | Unix_socket path ->
+      (match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+      | _ -> () (* refuse to clobber a non-socket; bind will fail honestly *)
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      fd
+
+let unlink_if_unix = function
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+let run ?(max_frame = 1 lsl 20) ?metrics ~filter ~address ~stop () =
   let ev = Filter.evaluator filter in
-  let listener =
-    match address with
-    | Unix_socket path ->
-        (match Unix.lstat path with
-        | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
-        | _ -> () (* refuse to clobber a non-socket; bind will fail honestly *)
-        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
-        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        Unix.bind fd (Unix.ADDR_UNIX path);
-        fd
-    | Tcp (host, port) ->
-        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-        Unix.setsockopt fd Unix.SO_REUSEADDR true;
-        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-        fd
-  in
+  let t_start = Unix.gettimeofday () in
+  let listener = bind_listener address in
   Unix.listen listener 16;
+  let mlistener =
+    match metrics with
+    | None -> None
+    | Some addr ->
+        let fd = bind_listener addr in
+        Unix.listen fd 16;
+        Some fd
+  in
   let conns = ref [] in
+  let mconns : mconn list ref = ref [] in
   let st =
     ref
       {
@@ -78,7 +107,21 @@ let run ?(max_frame = 1 lsl 20) ~filter ~address ~stop () =
         accepts = 0;
         trojan_suspects = 0;
         unknowns = 0;
+        dropped_frames = 0;
       }
+  in
+  (* Latency of connections already closed; a scrape folds live ones in. *)
+  let drained_hist = Array.make Obs.histogram_buckets 0 in
+  let drained_sum = ref 0. in
+  let latency_totals () =
+    let hist = Array.copy drained_hist in
+    let sum = ref !drained_sum in
+    List.iter
+      (fun c ->
+        Array.iteri (fun k v -> hist.(k) <- hist.(k) + v) c.lat_hist;
+        sum := !sum +. c.lat_sum)
+      !conns;
+    (hist, !sum)
   in
   let record verdict =
     let s = !st in
@@ -98,6 +141,78 @@ let run ?(max_frame = 1 lsl 20) ~filter ~address ~stop () =
           Obs.count "filter.unknown";
           { s with messages = s.messages + 1; unknowns = s.unknowns + 1 })
   in
+  (* Line-based stats reply: the wire twin of the Prometheus exposition. *)
+  let stats_text () =
+    let s = !st in
+    let hist, sum = latency_totals () in
+    let count = Array.fold_left ( + ) 0 hist in
+    let q p = Obs.estimate_quantile hist p *. 1e6 in
+    Printf.sprintf
+      "uptime_seconds %.3f\n\
+       connections %d\n\
+       messages %d\n\
+       accepts %d\n\
+       trojan_suspects %d\n\
+       unknowns %d\n\
+       dropped_frames %d\n\
+       latency_count %d\n\
+       latency_sum_seconds %.6f\n\
+       latency_p50_us %.2f\n\
+       latency_p95_us %.2f\n\
+       latency_p99_us %.2f\n"
+      (Unix.gettimeofday () -. t_start)
+      s.connections s.messages s.accepts s.trojan_suspects s.unknowns
+      s.dropped_frames count sum (q 0.5) (q 0.95) (q 0.99)
+  in
+  let stats_reply () =
+    let text = stats_text () in
+    let n = String.length text in
+    let out = Bytes.create (4 + n) in
+    Bytes.set out 0 (Char.chr ((n lsr 24) land 0xff));
+    Bytes.set out 1 (Char.chr ((n lsr 16) land 0xff));
+    Bytes.set out 2 (Char.chr ((n lsr 8) land 0xff));
+    Bytes.set out 3 (Char.chr (n land 0xff));
+    Bytes.blit_string text 0 out 4 n;
+    out
+  in
+  let exposition () =
+    let s = !st in
+    let buf = Buffer.create 4096 in
+    Obs.Prometheus.gauge buf ~name:"achilles_daemon_uptime_seconds"
+      ~help:"Seconds since the daemon started"
+      [ ([], Unix.gettimeofday () -. t_start) ];
+    Obs.Prometheus.counter buf ~name:"achilles_daemon_connections_total"
+      ~help:"Client connections accepted"
+      [ ([], float_of_int s.connections) ];
+    Obs.Prometheus.counter buf ~name:"achilles_daemon_messages_total"
+      ~help:"Messages judged" [ ([], float_of_int s.messages) ];
+    Obs.Prometheus.counter buf ~name:"achilles_daemon_verdicts_total"
+      ~help:"Verdicts by outcome"
+      [
+        ([ ("verdict", "accept") ], float_of_int s.accepts);
+        ([ ("verdict", "trojan_suspect") ], float_of_int s.trojan_suspects);
+        ([ ("verdict", "unknown") ], float_of_int s.unknowns);
+      ];
+    Obs.Prometheus.counter buf ~name:"achilles_daemon_dropped_frames_total"
+      ~help:"Connections dropped for oversized frames"
+      [ ([], float_of_int s.dropped_frames) ];
+    let hist, sum = latency_totals () in
+    Obs.Prometheus.histogram buf ~name:"achilles_daemon_request_duration_seconds"
+      ~help:"Per-verdict latency (log2-microsecond buckets)"
+      [ ([], hist, sum) ];
+    Buffer.add_string buf (Obs.Prometheus.of_snapshot (Obs.aggregate ()));
+    Buffer.contents buf
+  in
+  let http_response () =
+    let body = exposition () in
+    Printf.sprintf
+      "HTTP/1.0 200 OK\r\n\
+       Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+       Content-Length: %d\r\n\
+       \r\n\
+       %s"
+      (String.length body) body
+  in
   let scratch = Bytes.create 4096 in
   (* Consume every complete frame in [c.buf]; raises [Drop_connection] on an
      oversized frame. *)
@@ -109,15 +224,25 @@ let run ?(max_frame = 1 lsl 20) ~filter ~address ~stop () =
       if available < 4 then continue := false
       else
         let frame_len = be32_of c.buf !consumed in
-        if frame_len > max_frame then raise Drop_connection
+        if frame_len = stats_sentinel then begin
+          consumed := !consumed + 4;
+          write_all c.fd (stats_reply ())
+        end
+        else if frame_len > max_frame then raise Drop_connection
         else if available < 4 + frame_len then continue := false
         else begin
           let payload = Bytes.create frame_len in
           Buffer.blit c.buf (!consumed + 4) payload 0 frame_len;
           consumed := !consumed + 4 + frame_len;
-          let verdict =
-            Obs.span Obs.Filter_eval (fun () -> Filter.verdict_bytes ev payload)
-          in
+          (* Manual timing instead of [Obs.span]: one pair of clock reads
+             feeds the phase slice and the per-connection histogram. *)
+          let t0 = Unix.gettimeofday () in
+          let verdict = Filter.verdict_bytes ev payload in
+          let dt = Unix.gettimeofday () -. t0 in
+          Obs.record_span Obs.Filter_eval dt;
+          let b = Obs.bucket_of_seconds dt in
+          c.lat_hist.(b) <- c.lat_hist.(b) + 1;
+          c.lat_sum <- c.lat_sum +. dt;
           record verdict;
           write_all c.fd (response verdict)
         end
@@ -130,6 +255,8 @@ let run ?(max_frame = 1 lsl 20) ~filter ~address ~stop () =
   in
   let close_conn c =
     (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Array.iteri (fun k v -> drained_hist.(k) <- drained_hist.(k) + v) c.lat_hist;
+    drained_sum := !drained_sum +. c.lat_sum;
     conns := List.filter (fun c' -> c' != c) !conns
   in
   let service c =
@@ -138,13 +265,52 @@ let run ?(max_frame = 1 lsl 20) ~filter ~address ~stop () =
     | n ->
         Buffer.add_subbytes c.buf scratch 0 n;
         (try drain_frames c with
-        | Drop_connection -> close_conn c
+        | Drop_connection ->
+            st := { !st with dropped_frames = !st.dropped_frames + 1 };
+            Obs.count "filter.dropped_frame";
+            close_conn c
         | Unix.Unix_error _ -> close_conn c)
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
         close_conn c
   in
+  let close_mconn mc =
+    (try Unix.close mc.m_fd with Unix.Unix_error _ -> ());
+    mconns := List.filter (fun mc' -> mc' != mc) !mconns
+  in
+  let answer_mconn mc =
+    (try write_all mc.m_fd (Bytes.of_string (http_response ()))
+     with Unix.Unix_error _ -> ());
+    close_mconn mc
+  in
+  let has_request_end buf =
+    let s = Buffer.contents buf in
+    let n = String.length s in
+    let rec go i =
+      if i + 3 >= n then false
+      else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+      then true
+      else go (i + 1)
+    in
+    go 0
+  in
+  let service_mconn mc =
+    match Unix.read mc.m_fd scratch 0 (Bytes.length scratch) with
+    | 0 ->
+        (* EOF before the blank line: answer anyway if anything arrived. *)
+        if Buffer.length mc.m_buf > 0 then answer_mconn mc else close_mconn mc
+    | n ->
+        Buffer.add_subbytes mc.m_buf scratch 0 n;
+        if has_request_end mc.m_buf || Buffer.length mc.m_buf > 8192 then
+          answer_mconn mc
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        close_mconn mc
+  in
   while not (stop ()) do
-    let fds = listener :: List.map (fun c -> c.fd) !conns in
+    let fds =
+      (listener :: List.map (fun c -> c.fd) !conns)
+      @ (match mlistener with Some fd -> [ fd ] | None -> [])
+      @ List.map (fun mc -> mc.m_fd) !mconns
+    in
     match Unix.select fds [] [] 0.05 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | readable, _, _ ->
@@ -153,19 +319,40 @@ let run ?(max_frame = 1 lsl 20) ~filter ~address ~stop () =
             if fd = listener then begin
               match Unix.accept listener with
               | conn_fd, _ ->
-                  conns := { fd = conn_fd; buf = Buffer.create 256 } :: !conns;
+                  conns :=
+                    {
+                      fd = conn_fd;
+                      buf = Buffer.create 256;
+                      lat_hist = Array.make Obs.histogram_buckets 0;
+                      lat_sum = 0.;
+                    }
+                    :: !conns;
                   st := { !st with connections = !st.connections + 1 }
+              | exception Unix.Unix_error _ -> ()
+            end
+            else if mlistener = Some fd then begin
+              match Unix.accept fd with
+              | m_fd, _ ->
+                  mconns := { m_fd; m_buf = Buffer.create 256 } :: !mconns
               | exception Unix.Unix_error _ -> ()
             end
             else
               match List.find_opt (fun c -> c.fd = fd) !conns with
               | Some c -> service c
-              | None -> ())
+              | None -> (
+                  match List.find_opt (fun mc -> mc.m_fd = fd) !mconns with
+                  | Some mc -> service_mconn mc
+                  | None -> ()))
           readable
   done;
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+  List.iter
+    (fun mc -> try Unix.close mc.m_fd with Unix.Unix_error _ -> ())
+    !mconns;
   (try Unix.close listener with Unix.Unix_error _ -> ());
-  (match address with
-  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-  | Tcp _ -> ());
+  (match mlistener with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  unlink_if_unix address;
+  (match metrics with Some addr -> unlink_if_unix addr | None -> ());
   !st

@@ -50,11 +50,21 @@ val span : phase -> (unit -> 'a) -> 'a
     printed in reports. *)
 val count : ?n:int -> string -> unit
 
+(** [record_span p dt] charges an externally-measured duration [dt] (seconds)
+    to phase [p] — count, total seconds, histogram — without re-reading the
+    clock. When a trace is live it emits a lone [span_end] event carrying
+    [dur], which {!Summary.of_events} attributes via its orphan-end path.
+    For hot paths (the serving daemon) that already hold the duration. *)
+val record_span : phase -> float -> unit
+
 (** {1 Aggregated snapshot} *)
 
 (** Number of log2-microsecond latency buckets per phase: bucket [k] counts
     spans whose duration fell in [[2^k, 2^k+1)) microseconds. *)
 val histogram_buckets : int
+
+(** Bucket index for a duration in seconds (clamped to the last bucket). *)
+val bucket_of_seconds : float -> int
 
 type phase_metrics = {
   spans : int;            (** completed spans *)
@@ -72,6 +82,88 @@ val aggregate : unit -> snapshot
 
 (** Zero all per-domain metrics (every registered domain). Tests/bench only. *)
 val reset_all : unit -> unit
+
+(** [estimate_quantile hist q] estimates the [q]-quantile (0..1) of the
+    durations behind a log2-µs histogram, returning the geometric midpoint
+    [2^(k+0.5) µs] of the first bucket whose cumulative count crosses
+    [q * total]. Returns 0 for an empty histogram. *)
+val estimate_quantile : int array -> float -> float
+
+(** {1 Snapshot codec}
+
+    A versioned, text-serializable rendering of {!snapshot} so any process
+    can export its metrics state over a wire or file and a peer can merge it
+    (worker heartbeats → coordinator status; daemon → scrape). The format is
+    line-based ([achsnap 1] header, [phase ...] and [counter ...] records)
+    and forward-compatible: unknown phases and record tags are skipped. *)
+module Snapshot : sig
+  val version : int
+
+  (** All-zero snapshot (every phase present, no counters). *)
+  val empty : unit -> snapshot
+
+  (** Deterministic text rendering; floats round-trip exactly. *)
+  val encode : snapshot -> string
+
+  (** Inverse of {!encode}; [Error] on malformed input, never raises. *)
+  val decode : string -> (snapshot, string) result
+
+  (** Pointwise sum: spans, seconds, histograms, and counters (union). *)
+  val merge : snapshot -> snapshot -> snapshot
+end
+
+(** {1 Prometheus text exposition (format 0.0.4)} *)
+
+module Prometheus : sig
+  (** Escape a label value: backslash, double-quote, newline. *)
+  val escape_label : string -> string
+
+  (** Escape a HELP text: backslash, newline. *)
+  val escape_help : string -> string
+
+  (** Sanitize an arbitrary string onto the metric-name charset. *)
+  val metric_name : string -> string
+
+  (** Upper bound (seconds, as a [le] label value) of log2-µs bucket [k]. *)
+  val le_of_bucket : int -> string
+
+  (** [counter buf ~name ~help series] appends one counter family; [series]
+      is a [(labels, value)] list and HELP/TYPE are emitted exactly once. *)
+  val counter :
+    Buffer.t -> name:string -> help:string -> ((string * string) list * float) list -> unit
+
+  val gauge :
+    Buffer.t -> name:string -> help:string -> ((string * string) list * float) list -> unit
+
+  (** [histogram buf ~name ~help series] appends one histogram family;
+      [series] is a [(labels, log2µs-histogram, sum_seconds)] list. Buckets
+      are cumulative with a trailing [+Inf] equal to [_count]. *)
+  val histogram :
+    Buffer.t ->
+    name:string ->
+    help:string ->
+    ((string * string) list * int array * float) list ->
+    unit
+
+  (** Render a whole snapshot: [<ns>_phase_spans_total],
+      [<ns>_phase_seconds_total], [<ns>_phase_duration_seconds] (histogram,
+      phases with spans only) and [<ns>_events_total] (one series per named
+      counter). [namespace] defaults to ["achilles"]. *)
+  val of_snapshot : ?namespace:string -> snapshot -> string
+end
+
+(** {1 Process identity} *)
+
+(** [set_identity ~run_id ~proc] names this process for trace correlation;
+    every subsequently opened trace stream stamps both into its
+    [trace_start] meta event. Defaults to [("", "main")]. *)
+val set_identity : run_id:string -> proc:string -> unit
+
+(** Current [(run_id, proc)]. *)
+val identity : unit -> string * string
+
+(** A fresh 12-hex-char run id (pid + wall clock + counter digest). *)
+val fresh_run_id : unit -> string
 
 (** {1 Events} *)
 
@@ -128,6 +220,29 @@ module Json : sig
   (** Parse one flat JSONL object ([{"k":v,...}] with scalar values) into an
       assoc list. *)
   val parse_line : string -> ((string * t) list, string) result
+
+  (** Full nested JSON values — status.json and merged-trace validation.
+      [parse_line] remains the fast path for flat trace lines. *)
+  type v =
+    | VNull
+    | VBool of bool
+    | VNum of float
+    | VStr of string
+    | VArr of v list
+    | VObj of (string * v) list
+
+  val parse : string -> (v, string) result
+
+  (** Compact single-line rendering; inverse of {!parse} up to float
+      formatting. *)
+  val to_string : v -> string
+
+  (** Field lookup on a [VObj]; [None] otherwise. *)
+  val mem : string -> v -> v option
+
+  val to_float : v -> float option
+
+  val to_str : v -> string option
 end
 
 module Summary : sig
@@ -137,6 +252,8 @@ module Summary : sig
     total_seconds : float;  (** inclusive duration *)
     row_spans : int;
     max_seconds : float;    (** longest single span *)
+    row_hist : int array;   (** log2-µs histogram of inclusive durations —
+                                feed to {!estimate_quantile} for p50/p95/p99 *)
   }
 
   type t = {
@@ -164,4 +281,12 @@ module Chrome : sig
   (** Convert a JSONL trace to a Chrome trace-event JSON file
       ([{"traceEvents":[...]}]) loadable in Perfetto / about://tracing. *)
   val export : src:string -> dst:string -> (unit, string) result
+
+  (** [merge ~srcs ~dst] stitches several JSONL streams (coordinator +
+      workers) into one Chrome timeline: one pid + [process_name] metadata
+      per stream, timestamps aligned via each stream's [wall0] meta field,
+      and an error if streams carry distinct non-empty run_ids. Returns
+      [(streams_merged, run_id)]. *)
+  val merge :
+    srcs:string list -> dst:string -> (int * string option, string) result
 end

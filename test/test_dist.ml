@@ -301,6 +301,7 @@ let dist_run ?(workers = 3) ?(fault_rate = 0.) ?(fault_seed = 1)
   let params =
     {
       Dist.Worker.heartbeat_interval = heartbeat;
+      snapshot_interval = 0.01;
       poll_sleep = 0.002;
       orphan_timeout = 30.0;
       fault_rate;
@@ -317,6 +318,7 @@ let dist_run ?(workers = 3) ?(fault_rate = 0.) ?(fault_seed = 1)
       Dist.Coordinator.c_drain_grace = 10.0;
       Dist.Coordinator.c_tick = 0.002;
       Dist.Coordinator.c_cancel = cancel;
+      Dist.Coordinator.c_status_interval = 0.05;
     }
   in
   let spawn = Dist.Coordinator.domain_spawner ~workdir ~job ~params () in
@@ -530,6 +532,112 @@ let test_stale_tmp_cleanup () =
   Alcotest.(check bool) "real files kept" true (Sys.file_exists keep);
   rm_rf dir
 
+(* --- telemetry: snapshot wire messages and status.json ------------------------- *)
+
+module Obs = Achilles_obs.Obs
+
+let test_snapshot_wire_roundtrip () =
+  let zero () = Array.make Obs.histogram_buckets 0 in
+  let histogram = zero () in
+  histogram.(3) <- 5;
+  let snap =
+    {
+      Obs.phases =
+        List.map
+          (fun p ->
+            if p = Obs.Solver_query then
+              (p, { Obs.spans = 5; seconds = 0.25; histogram })
+            else (p, { Obs.spans = 0; seconds = 0.; histogram = zero () }))
+          Obs.all_phases;
+      counters = [ ("solver.queries", 5); ("dist.shards.completed", 2) ];
+    }
+  in
+  let msg = Dist.Lease.Snapshot { wid = 3; shard = -1; snap } in
+  (* the snapshot body is multi-line: the mailbox codec must carry it as
+     one message *)
+  (match Dist.Lease.parse_to_coordinator (Dist.Lease.encode_to_coordinator msg) with
+  | Some (Dist.Lease.Snapshot { wid; shard; snap = snap' }) ->
+      Alcotest.(check int) "wid carried" 3 wid;
+      Alcotest.(check int) "idle shard carried" (-1) shard;
+      let solver = List.assoc Obs.Solver_query snap'.Obs.phases in
+      Alcotest.(check int) "spans carried" 5 solver.Obs.spans;
+      Alcotest.(check (float 0.)) "seconds carried" 0.25 solver.Obs.seconds;
+      Alcotest.(check int) "histogram carried" 5 solver.Obs.histogram.(3);
+      Alcotest.(check (list (pair string int))) "counters carried"
+        [ ("dist.shards.completed", 2); ("solver.queries", 5) ]
+        snap'.Obs.counters
+  | Some _ -> Alcotest.fail "snapshot message parsed as something else"
+  | None -> Alcotest.fail "snapshot message did not parse");
+  (* a held shard id round-trips too *)
+  match
+    Dist.Lease.parse_to_coordinator
+      (Dist.Lease.encode_to_coordinator
+         (Dist.Lease.Snapshot { wid = 0; shard = 6; snap = Obs.Snapshot.empty () }))
+  with
+  | Some (Dist.Lease.Snapshot { shard = 6; _ }) -> ()
+  | _ -> Alcotest.fail "held-shard snapshot did not round-trip"
+
+let test_status_file () =
+  let client, server, base = extract_case fixed_case in
+  let workdir = fresh_workdir "achilles-dist-status" in
+  (* the coordinator stamps the process identity's run id into status.json *)
+  let saved_run, saved_proc = Obs.identity () in
+  Obs.set_identity ~run_id:(Obs.fresh_run_id ()) ~proc:"coordinator";
+  let report = dist_run ~workdir ~base client server in
+  Obs.set_identity ~run_id:saved_run ~proc:saved_proc;
+  let st =
+    match Dist.Status.load ~workdir with
+    | Ok st -> st
+    | Error e -> Alcotest.fail ("status.json unreadable: " ^ e)
+  in
+  rm_rf workdir;
+  let c = report.Search.coverage in
+  Alcotest.(check string) "final state is done" "done" st.Dist.Status.s_state;
+  Alcotest.(check bool) "run id stamped" true (st.Dist.Status.s_run_id <> "");
+  Alcotest.(check int) "shard total matches the report" c.Search.total_shards
+    st.Dist.Status.s_shards_total;
+  Alcotest.(check int) "every shard accounted for" st.Dist.Status.s_shards_total
+    (st.Dist.Status.s_done + st.Dist.Status.s_leased
+   + st.Dist.Status.s_pending + st.Dist.Status.s_uncovered);
+  Alcotest.(check int) "all shards done" c.Search.completed_shards
+    st.Dist.Status.s_done;
+  Alcotest.(check int) "nothing leased after the run" 0
+    st.Dist.Status.s_leased;
+  Alcotest.(check bool) "timestamps ordered" true
+    (st.Dist.Status.s_updated >= st.Dist.Status.s_started);
+  Alcotest.(check bool) "workers tracked" true
+    (st.Dist.Status.s_workers <> []);
+  List.iter
+    (fun (w : Dist.Status.worker) ->
+      Alcotest.(check bool) "worker was seen" true (w.Dist.Status.w_last_seen > 0.))
+    st.Dist.Status.s_workers;
+  (* the JSON codec round-trips the loaded status *)
+  (match Dist.Status.of_json (Dist.Status.to_json st) with
+  | Error e -> Alcotest.fail ("status JSON round-trip failed: " ^ e)
+  | Ok st' ->
+      Alcotest.(check string) "round-trip run id" st.Dist.Status.s_run_id
+        st'.Dist.Status.s_run_id;
+      Alcotest.(check int) "round-trip done count" st.Dist.Status.s_done
+        st'.Dist.Status.s_done;
+      Alcotest.(check int) "round-trip worker count"
+        (List.length st.Dist.Status.s_workers)
+        (List.length st'.Dist.Status.s_workers));
+  (* the human rendering works and mentions the final state *)
+  let rendered =
+    Format.asprintf "%a"
+      (Dist.Status.pp ~now:(st.Dist.Status.s_updated +. 1.0))
+      st
+  in
+  let contains needle =
+    let nl = String.length needle and l = String.length rendered in
+    let rec go i =
+      i + nl <= l && (String.sub rendered i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "rendering mentions the state" true (contains "done");
+  Alcotest.(check bool) "rendering mentions shards" true (contains "shards")
+
 (* --- real worker processes (the CLI round trip) -------------------------------- *)
 
 let cli_binary () =
@@ -590,6 +698,104 @@ let test_real_worker_processes () =
             "real worker processes reproduce the single-process digest" d1 d2
       | _ -> Alcotest.fail "no report digest in CLI output"
 
+(* Worker processes must flush their trace sinks on EVERY exit path —
+   including the fault-injected hard kill (_exit) — so each
+   trace-worker-NNN.eN.jsonl left in the workdir is whole-line JSONL that
+   summarize and merge can read. Fault injection forces kills + respawns;
+   the epoch suffix keeps each incarnation's stream separate. *)
+let test_worker_traces_flushed () =
+  match cli_binary () with
+  | None -> print_endline "achilles_cli.exe not built here; skipping"
+  | Some binary ->
+      let workdir = fresh_workdir "achilles-dist-traces" in
+      let coord_trace = Filename.concat workdir "coordinator.jsonl" in
+      Unix.putenv "ACHILLES_WORKER_FAULT_RATE" "0.2";
+      Unix.putenv "ACHILLES_WORKER_FAULT_SEED" "7";
+      Unix.putenv "ACHILLES_HEARTBEAT_INTERVAL" "0.05";
+      let status, _out =
+        run_cli binary
+          [
+            "analyze"; "rw"; "--digest"; "--workers"; "2"; "--work-dir";
+            workdir; "--lease-ttl"; "5"; "--reassign-budget"; "50";
+            "--trace"; coord_trace;
+          ]
+      in
+      Unix.putenv "ACHILLES_WORKER_FAULT_RATE" "0";
+      Unix.putenv "ACHILLES_HEARTBEAT_INTERVAL" "0.5";
+      (* kills may or may not exhaust the respawn budget depending on
+         timing; either a complete (0) or partial (3) run must still leave
+         clean traces behind *)
+      Alcotest.(check bool) "run exited with a report" true
+        (status = Unix.WEXITED 0 || status = Unix.WEXITED 3);
+      let worker_traces =
+        Sys.readdir workdir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f >= 12
+               && String.sub f 0 12 = "trace-worker"
+               && Filename.check_suffix f ".jsonl")
+        |> List.map (Filename.concat workdir)
+      in
+      Alcotest.(check bool) "workers left trace files" true
+        (worker_traces <> []);
+      (* every stream — coordinator and each worker incarnation — is
+         parseable to the last line and stamped with the same run id *)
+      let run_id_of path =
+        match Obs.Summary.load path with
+        | Error e -> Alcotest.failf "%s unreadable: %s" path e
+        | Ok s ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s has events" (Filename.basename path))
+              true (s.Obs.Summary.events > 0);
+            let ic = open_in path in
+            let first = input_line ic in
+            close_in ic;
+            (match Obs.Json.parse_line first with
+            | Ok fields -> (
+                match
+                  ( List.assoc_opt "name" fields,
+                    List.assoc_opt "run_id" fields )
+                with
+                | Some (Obs.Json.Str "trace_start"), Some (Obs.Json.Str id) ->
+                    id
+                | _ ->
+                    Alcotest.failf "%s: first line is not a trace_start stamp"
+                      path)
+            | Error e -> Alcotest.failf "%s: meta line unparseable: %s" path e)
+      in
+      let coord_id = run_id_of coord_trace in
+      List.iter
+        (fun path ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s shares the run id" (Filename.basename path))
+            coord_id (run_id_of path))
+        worker_traces;
+      (* the streams merge into one run_id-correlated timeline *)
+      let merged = Filename.concat workdir "merged.json" in
+      (match Obs.Chrome.merge ~srcs:(coord_trace :: worker_traces) ~dst:merged with
+      | Error e -> Alcotest.fail ("trace merge failed: " ^ e)
+      | Ok (n, run_id) ->
+          Alcotest.(check int) "all streams merged"
+            (1 + List.length worker_traces)
+            n;
+          Alcotest.(check (option string)) "merge agrees on the run id"
+            (Some coord_id) run_id);
+      (* `achilles status` renders the same run's final picture *)
+      let st_status, st_out =
+        run_cli binary [ "status"; "--work-dir"; workdir ]
+      in
+      Alcotest.(check bool) "status exits 0" true (st_status = Unix.WEXITED 0);
+      let contains needle =
+        let nl = String.length needle and l = String.length st_out in
+        let rec go i =
+          i + nl <= l && (String.sub st_out i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "status names the run" true (contains coord_id);
+      Alcotest.(check bool) "status shows shard progress" true
+        (contains "shards");
+      rm_rf workdir
+
 let () =
   Alcotest.run "dist"
     [
@@ -622,8 +828,16 @@ let () =
             test_checkpoint_corruption_guards;
           Alcotest.test_case "stale tmp cleanup" `Quick test_stale_tmp_cleanup;
         ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "snapshot wire round-trip" `Quick
+            test_snapshot_wire_roundtrip;
+          Alcotest.test_case "status.json after a run" `Quick test_status_file;
+        ] );
       ( "worker-processes",
         [
           Alcotest.test_case "CLI round trip" `Slow test_real_worker_processes;
+          Alcotest.test_case "worker traces flushed on every exit path" `Slow
+            test_worker_traces_flushed;
         ] );
     ]

@@ -468,6 +468,270 @@ let test_daemon_in_process () =
   Alcotest.(check int) "one connection" 1 stats.Daemon.connections;
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists sock)
 
+(* --- the daemon's telemetry surfaces: STATS wire command and /metrics ---------- *)
+
+let stats_over fd =
+  let req = Bytes.create 4 in
+  Bytes.set_int32_be req 0 0xFFFFFFFFl;
+  let n = Unix.write fd req 0 4 in
+  Alcotest.(check int) "sentinel fully written" 4 n;
+  let len = Int32.to_int (Bytes.get_int32_be (read_exactly fd 4) 0) land 0xFFFFFFFF in
+  Bytes.to_string (read_exactly fd len)
+
+let kv_of text =
+  List.filter_map
+    (fun line ->
+      match String.split_on_char ' ' (String.trim line) with
+      | [ k; v ] -> Some (k, v)
+      | _ -> None)
+    (String.split_on_char '\n' text)
+
+let stat_int kv key =
+  match List.assoc_opt key kv with
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> n
+      | None -> Alcotest.failf "stats key %s is not an int: %s" key v)
+  | None -> Alcotest.failf "stats reply lacks key %s" key
+
+let stat_float kv key =
+  match Option.bind (List.assoc_opt key kv) float_of_string_opt with
+  | Some f -> f
+  | None -> Alcotest.failf "stats reply lacks float key %s" key
+
+let read_to_eof fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+let scrape msock =
+  let fd = connect_unix msock in
+  let req = Bytes.of_string "GET /metrics HTTP/1.0\r\n\r\n" in
+  ignore (Unix.write fd req 0 (Bytes.length req));
+  let reply = read_to_eof fd in
+  Unix.close fd;
+  match String.index_opt reply '\n' with
+  | None -> Alcotest.fail "scrape reply has no status line"
+  | Some _ -> (
+      let status = List.hd (String.split_on_char '\n' reply) in
+      Alcotest.(check string) "scrape status line" "HTTP/1.0 200 OK"
+        (String.trim status);
+      let marker = "\r\n\r\n" in
+      let ml = String.length marker and rl = String.length reply in
+      let rec find i =
+        if i + ml > rl then None
+        else if String.sub reply i ml = marker then Some (i + ml)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> Alcotest.fail "scrape reply has no header/body separator"
+      | Some body_at -> (reply, String.sub reply body_at (rl - body_at)))
+
+(* Value of an exposition sample whose full series name (labels included)
+   is [series]. *)
+let metric_sample body series =
+  let prefix = series ^ " " in
+  let pl = String.length prefix in
+  match
+    List.find_opt
+      (fun l -> String.length l > pl && String.sub l 0 pl = prefix)
+      (String.split_on_char '\n' body)
+  with
+  | Some l -> (
+      match float_of_string_opt (String.sub l pl (String.length l - pl)) with
+      | Some f -> f
+      | None -> Alcotest.failf "unparseable sample: %s" l)
+  | None -> Alcotest.failf "exposition lacks series %s" series
+
+let check_exposition_shape body =
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] <> '#' then
+        match String.rindex_opt line ' ' with
+        | Some i -> (
+            match
+              float_of_string_opt
+                (String.sub line (i + 1) (String.length line - i - 1))
+            with
+            | Some _ -> ()
+            | None -> Alcotest.failf "unparseable sample value: %s" line)
+        | None -> Alcotest.failf "sample line without value: %s" line)
+    (List.filter (fun l -> l <> "") (String.split_on_char '\n' body))
+
+let test_daemon_telemetry () =
+  let _, report, filter = force "gossip" in
+  let sock = temp_socket_path () in
+  let msock = temp_socket_path () in
+  let stop = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        Daemon.run ~filter
+          ~metrics:(Daemon.Unix_socket msock)
+          ~address:(Daemon.Unix_socket sock)
+          ~stop:(fun () -> Atomic.get stop)
+          ())
+  in
+  Fun.protect ~finally:(fun () -> Atomic.set stop true)
+  @@ fun () ->
+  let witness =
+    match
+      List.find_opt (fun (t : Search.trojan) -> t.Search.confirmed)
+        report.Search.trojans
+    with
+    | Some t -> bytes_of_witness t.Search.witness
+    | None -> Alcotest.fail "gossip analysis reported no confirmed trojan"
+  in
+  let benign = Bytes.make (Filter.message_size filter) '\255' in
+  let fd = connect_unix sock in
+  let c, _ = send_message fd witness in
+  Alcotest.(check char) "witness flagged" 'T' c;
+  let c, _ = send_message fd benign in
+  Alcotest.(check char) "benign accepted" 'A' c;
+  let c, _ = send_message fd (Bytes.make 2 '\000') in
+  Alcotest.(check char) "short is unknown" 'U' c;
+  (* STATS sentinel mid-stream: a key/value reply, then normal service *)
+  let kv = kv_of (stats_over fd) in
+  Alcotest.(check int) "wire stats: messages" 3 (stat_int kv "messages");
+  Alcotest.(check int) "wire stats: accepts" 1 (stat_int kv "accepts");
+  Alcotest.(check int) "wire stats: trojan_suspects" 1
+    (stat_int kv "trojan_suspects");
+  Alcotest.(check int) "wire stats: unknowns" 1 (stat_int kv "unknowns");
+  Alcotest.(check int) "wire stats: dropped_frames" 0
+    (stat_int kv "dropped_frames");
+  Alcotest.(check int) "wire stats: connections" 1 (stat_int kv "connections");
+  Alcotest.(check int) "wire stats: latency_count" 3
+    (stat_int kv "latency_count");
+  Alcotest.(check bool) "wire stats: uptime non-negative" true
+    (stat_float kv "uptime_seconds" >= 0.);
+  Alcotest.(check bool) "wire stats: p50 <= p99" true
+    (stat_float kv "latency_p50_us" <= stat_float kv "latency_p99_us");
+  let c, _ = send_message fd benign in
+  Alcotest.(check char) "daemon keeps serving after STATS" 'A' c;
+  (* scrape while the verdict connection is still open: the exposition must
+     agree with the wire stats *)
+  let _, body = scrape msock in
+  check_exposition_shape body;
+  Alcotest.(check (float 0.)) "scrape: messages" 4.
+    (metric_sample body "achilles_daemon_messages_total");
+  Alcotest.(check (float 0.)) "scrape: accepts" 2.
+    (metric_sample body "achilles_daemon_verdicts_total{verdict=\"accept\"}");
+  Alcotest.(check (float 0.)) "scrape: trojan suspects" 1.
+    (metric_sample body
+       "achilles_daemon_verdicts_total{verdict=\"trojan_suspect\"}");
+  Alcotest.(check (float 0.)) "scrape: unknowns" 1.
+    (metric_sample body "achilles_daemon_verdicts_total{verdict=\"unknown\"}");
+  Alcotest.(check (float 0.)) "scrape: dropped frames" 0.
+    (metric_sample body "achilles_daemon_dropped_frames_total");
+  Alcotest.(check (float 0.)) "scrape: latency count covers live conns" 4.
+    (metric_sample body "achilles_daemon_request_duration_seconds_count");
+  Alcotest.(check (float 0.)) "scrape: +Inf bucket equals count" 4.
+    (metric_sample body
+       "achilles_daemon_request_duration_seconds_bucket{le=\"+Inf\"}");
+  Alcotest.(check bool) "scrape: uptime gauge present" true
+    (metric_sample body "achilles_daemon_uptime_seconds" >= 0.);
+  (* an oversized frame drops that connection and counts as a drop *)
+  let fd2 = connect_unix sock in
+  let huge = Bytes.create 4 in
+  Bytes.set_int32_be huge 0 (Int32.of_int (2 * 1024 * 1024));
+  ignore (Unix.write fd2 huge 0 4);
+  let eof =
+    match Unix.read fd2 (Bytes.create 1) 0 1 with
+    | 0 -> true
+    | _ -> false
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> true
+  in
+  Alcotest.(check bool) "oversized frame drops the connection" true eof;
+  Unix.close fd2;
+  (* the drop shows up on both surfaces; the first connection still serves *)
+  let kv = kv_of (stats_over fd) in
+  Alcotest.(check int) "wire stats: drop counted" 1
+    (stat_int kv "dropped_frames");
+  Alcotest.(check int) "wire stats: two connections" 2
+    (stat_int kv "connections");
+  let _, body = scrape msock in
+  Alcotest.(check (float 0.)) "scrape: drop counted" 1.
+    (metric_sample body "achilles_daemon_dropped_frames_total");
+  Unix.close fd;
+  Atomic.set stop true;
+  let stats = Domain.join daemon in
+  (* the returned record, the wire reply, and the scrape all told the same
+     story *)
+  Alcotest.(check int) "record: messages" 4 stats.Daemon.messages;
+  Alcotest.(check int) "record: accepts" 2 stats.Daemon.accepts;
+  Alcotest.(check int) "record: trojan suspects" 1 stats.Daemon.trojan_suspects;
+  Alcotest.(check int) "record: unknowns" 1 stats.Daemon.unknowns;
+  Alcotest.(check int) "record: dropped frames" 1 stats.Daemon.dropped_frames;
+  Alcotest.(check int) "record: connections" 2 stats.Daemon.connections;
+  Alcotest.(check bool) "metrics socket file removed" false
+    (Sys.file_exists msock)
+
+(* The select loop interleaves scrapes with verdict traffic: start a scrape,
+   keep sending frames on the verdict connection, then harvest the scrape —
+   all on one daemon thread. Every scrape must be well-formed and counters
+   must be monotone across scrapes. *)
+let test_scrape_while_serving () =
+  let _, _, filter = force "gossip" in
+  let sock = temp_socket_path () in
+  let msock = temp_socket_path () in
+  let stop = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        Daemon.run ~filter
+          ~metrics:(Daemon.Unix_socket msock)
+          ~address:(Daemon.Unix_socket sock)
+          ~stop:(fun () -> Atomic.get stop)
+          ())
+  in
+  Fun.protect ~finally:(fun () -> Atomic.set stop true)
+  @@ fun () ->
+  let benign = Bytes.make (Filter.message_size filter) '\255' in
+  let fd = connect_unix sock in
+  let sent = ref 0 in
+  let last = ref 0. in
+  for _round = 1 to 5 do
+    (* open the scrape first, then drive traffic before harvesting it *)
+    let sfd = connect_unix msock in
+    let req = Bytes.of_string "GET /metrics HTTP/1.0\r\n\r\n" in
+    ignore (Unix.write sfd req 0 (Bytes.length req));
+    for _ = 1 to 20 do
+      let c, _ = send_message fd benign in
+      incr sent;
+      Alcotest.(check char) "verdict under scrape load" 'A' c
+    done;
+    let reply = read_to_eof sfd in
+    Unix.close sfd;
+    let marker = "\r\n\r\n" in
+    let ml = String.length marker and rl = String.length reply in
+    let rec find i =
+      if i + ml > rl then None
+      else if String.sub reply i ml = marker then Some (i + ml)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> Alcotest.fail "interleaved scrape has no body"
+    | Some at ->
+        let body = String.sub reply at (rl - at) in
+        check_exposition_shape body;
+        let m = metric_sample body "achilles_daemon_messages_total" in
+        Alcotest.(check bool) "scrape counter is monotone" true (m >= !last);
+        Alcotest.(check bool) "scrape counter within bounds" true
+          (m <= float_of_int !sent);
+        last := m
+  done;
+  Unix.close fd;
+  Atomic.set stop true;
+  let stats = Domain.join daemon in
+  Alcotest.(check int) "every frame judged" !sent stats.Daemon.messages
+
 (* --- the daemon as a real subprocess (achilles serve round trip) -------------- *)
 
 let cli_binary () =
@@ -574,6 +838,10 @@ let () =
       ( "daemon",
         [
           Alcotest.test_case "in-process protocol" `Quick test_daemon_in_process;
+          Alcotest.test_case "telemetry surfaces agree" `Quick
+            test_daemon_telemetry;
+          Alcotest.test_case "scrape while serving" `Quick
+            test_scrape_while_serving;
           Alcotest.test_case "serve subprocess round trip" `Quick
             test_serve_subprocess;
         ] );

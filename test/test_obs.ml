@@ -157,9 +157,16 @@ let test_concurrent_writer () =
   Array.iter Domain.join domains;
   Obs.Trace.disable ();
   let lines = read_lines file in
-  (* one tick + span_begin/span_end per iteration, no torn or merged lines *)
-  Alcotest.(check int) "every event is exactly one line" (4 * per_domain * 3)
+  (* the trace_start meta stamp, then one tick + span_begin/span_end per
+     iteration, no torn or merged lines *)
+  Alcotest.(check int) "every event is exactly one line"
+    ((4 * per_domain * 3) + 1)
     (List.length lines);
+  (match Obs.Json.parse_line (List.hd lines) with
+  | Ok fields ->
+      check_str fields "kind" "meta";
+      check_str fields "name" "trace_start"
+  | Error msg -> Alcotest.fail ("meta line unparseable: " ^ msg));
   check_all_lines_parse file lines;
   let ticks =
     List.filter
@@ -438,6 +445,486 @@ let test_chrome_export () =
   Sys.remove src;
   Sys.remove dst
 
+(* --- latency quantiles from log2-µs histograms --------------------------------- *)
+
+let bucket_mid k = (2. ** (float_of_int k +. 0.5)) *. 1e-6
+
+let test_estimate_quantile () =
+  let hist = Array.make Obs.histogram_buckets 0 in
+  Alcotest.(check (float 0.)) "empty histogram" 0.
+    (Obs.estimate_quantile hist 0.5);
+  hist.(0) <- 10;
+  hist.(10) <- 10;
+  Alcotest.(check (float 1e-12)) "p25 falls in bucket 0" (bucket_mid 0)
+    (Obs.estimate_quantile hist 0.25);
+  Alcotest.(check (float 1e-9)) "p75 falls in bucket 10" (bucket_mid 10)
+    (Obs.estimate_quantile hist 0.75);
+  Alcotest.(check (float 1e-9)) "p100 is the last occupied bucket" (bucket_mid 10)
+    (Obs.estimate_quantile hist 1.0);
+  Alcotest.(check (float 1e-12)) "p0 clamps to the first observation"
+    (bucket_mid 0) (Obs.estimate_quantile hist 0.);
+  (* bucket_of_seconds must land durations in the bucket the quantile
+     estimator reads back *)
+  let one_ms = Array.make Obs.histogram_buckets 0 in
+  one_ms.(Obs.bucket_of_seconds 1e-3) <- 1;
+  let est = Obs.estimate_quantile one_ms 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "1ms estimate within 2x (%g)" est)
+    true
+    (est >= 0.5e-3 && est <= 2e-3)
+
+(* --- snapshot codec ------------------------------------------------------------ *)
+
+let metrics_of ~spans ~seconds buckets =
+  let histogram = Array.make Obs.histogram_buckets 0 in
+  List.iter (fun (k, v) -> histogram.(k) <- v) buckets;
+  { Obs.spans; seconds; histogram }
+
+let snapshot_of cells counters =
+  {
+    Obs.phases =
+      List.map
+        (fun p ->
+          match List.assoc_opt p cells with
+          | Some m -> (p, m)
+          | None -> (p, metrics_of ~spans:0 ~seconds:0. []))
+        Obs.all_phases;
+    counters = List.sort (fun (a, _) (b, _) -> String.compare a b) counters;
+  }
+
+let check_snap_eq label a b =
+  List.iter2
+    (fun (p, m) (p', m') ->
+      let name = Obs.phase_name p in
+      Alcotest.(check bool) (label ^ ": phase order " ^ name) true (p = p');
+      Alcotest.(check int) (label ^ ": spans " ^ name) m.Obs.spans m'.Obs.spans;
+      Alcotest.(check (float 0.))
+        (label ^ ": seconds " ^ name)
+        m.Obs.seconds m'.Obs.seconds;
+      Alcotest.(check (array int))
+        (label ^ ": histogram " ^ name)
+        m.Obs.histogram m'.Obs.histogram)
+    a.Obs.phases b.Obs.phases;
+  Alcotest.(check (list (pair string int)))
+    (label ^ ": counters") a.Obs.counters b.Obs.counters
+
+let test_snapshot_codec () =
+  let snap =
+    snapshot_of
+      [
+        ( Obs.Solver_query,
+          metrics_of ~spans:3 ~seconds:0.125 [ (2, 2); (5, 1) ] );
+        (Obs.Server_se, metrics_of ~spans:1 ~seconds:1.5e-9 [ (0, 1) ]);
+        (* wall-clock is a float that does not render prettily: it must
+           still round-trip exactly through %.17g *)
+        (Obs.Dist, metrics_of ~spans:7 ~seconds:0.1 [ (27, 7) ]);
+      ]
+      [ ("solver.queries", 42); ("weird name %\n\xffend", 2); ("", 1) ]
+  in
+  let text = Obs.Snapshot.encode snap in
+  (match Obs.Snapshot.decode text with
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+  | Ok snap' -> check_snap_eq "round-trip" snap snap');
+  (* all-zero phases are elided from the text but restored on decode *)
+  let empty = Obs.Snapshot.empty () in
+  Alcotest.(check int)
+    "empty snapshot is just the header" 1
+    (List.length
+       (List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' (Obs.Snapshot.encode empty))));
+  (match Obs.Snapshot.decode (Obs.Snapshot.encode empty) with
+  | Error e -> Alcotest.fail ("empty decode failed: " ^ e)
+  | Ok e' -> check_snap_eq "empty round-trip" empty e');
+  (* merge is a pointwise sum *)
+  let doubled = Obs.Snapshot.merge snap snap in
+  let solver = List.assoc Obs.Solver_query doubled.Obs.phases in
+  Alcotest.(check int) "merge sums spans" 6 solver.Obs.spans;
+  Alcotest.(check (float 1e-12)) "merge sums seconds" 0.25 solver.Obs.seconds;
+  Alcotest.(check int) "merge sums histogram cells" 4 solver.Obs.histogram.(2);
+  Alcotest.(check (option int)) "merge sums counters" (Some 84)
+    (List.assoc_opt "solver.queries" doubled.Obs.counters);
+  let merged_empty = Obs.Snapshot.merge snap (Obs.Snapshot.empty ()) in
+  check_snap_eq "merge with empty is identity" snap merged_empty
+
+let test_snapshot_decode_errors () =
+  let bad text =
+    match Obs.Snapshot.decode text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "expected decode error on %S" text)
+  in
+  bad "";
+  bad "not a snapshot";
+  bad "achsnap nine\n";
+  bad (Printf.sprintf "achsnap %d\n" (Obs.Snapshot.version + 1));
+  bad "achsnap 1\nphase solver_query nope 1.0 -\n";
+  bad "achsnap 1\nphase solver_query 1 1.0 0:x\n";
+  bad "achsnap 1\nphase solver_query 1 1.0 99:1\n";
+  bad "achsnap 1\ncounter foo bar\n";
+  (* forward compatibility: unknown phases and record tags are skipped,
+     known records on the same snapshot still land *)
+  match
+    Obs.Snapshot.decode
+      "achsnap 1\nphase warp_drive 3 1.0 -\nfrobnicate x y\ncounter foo 3\n"
+  with
+  | Error e -> Alcotest.fail ("forward-compat decode failed: " ^ e)
+  | Ok snap ->
+      Alcotest.(check (option int)) "known counter decoded" (Some 3)
+        (List.assoc_opt "foo" snap.Obs.counters);
+      List.iter
+        (fun (_, m) ->
+          Alcotest.(check int) "unknown phase contributes nothing" 0 m.Obs.spans)
+        snap.Obs.phases
+
+let snapshot_gen =
+  QCheck2.Gen.(
+    let cell_gen =
+      (* histogram mass forces spans > 0 so the phase is never elided while
+         carrying data *)
+      let* buckets =
+        list_size (int_range 0 4)
+          (pair (int_range 0 (Obs.histogram_buckets - 1)) (int_range 1 50))
+      in
+      let mass = List.fold_left (fun acc (_, v) -> acc + v) 0 buckets in
+      let* extra = int_range 0 5 in
+      let* seconds =
+        oneof
+          [
+            return 0.;
+            float_bound_inclusive 1000.;
+            map (fun x -> x *. 1e-9) (float_bound_inclusive 1000.);
+          ]
+      in
+      let spans = if mass = 0 && seconds = 0. then 0 else mass + extra in
+      return (metrics_of ~spans ~seconds buckets)
+    in
+    let* cells = list_repeat (List.length Obs.all_phases) cell_gen in
+    let* counters =
+      list_size (int_range 0 6)
+        (pair (string_size ~gen:printable (int_range 0 12))
+           (int_range 0 10000))
+    in
+    let counters =
+      List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) counters
+    in
+    return (snapshot_of (List.combine Obs.all_phases cells) counters))
+
+let qcheck_snapshot_roundtrip =
+  QCheck2.Test.make ~name:"snapshot encode/decode round-trip" ~count:200
+    snapshot_gen (fun snap ->
+      match Obs.Snapshot.decode (Obs.Snapshot.encode snap) with
+      | Error _ -> false
+      | Ok snap' ->
+          List.for_all2
+            (fun (p, m) (p', m') ->
+              p = p'
+              && m.Obs.spans = m'.Obs.spans
+              && m.Obs.seconds = m'.Obs.seconds
+              && m.Obs.histogram = m'.Obs.histogram)
+            snap.Obs.phases snap'.Obs.phases
+          && snap.Obs.counters = snap'.Obs.counters)
+
+(* --- Prometheus text exposition ------------------------------------------------ *)
+
+let out_lines s =
+  List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+
+let test_prometheus_escaping () =
+  Alcotest.(check string) "label escaping" "a\\\\b\\\"c\\nd"
+    (Obs.Prometheus.escape_label "a\\b\"c\nd");
+  Alcotest.(check string) "help escaping keeps quotes" "a\\\\b\"c\\nd"
+    (Obs.Prometheus.escape_help "a\\b\"c\nd");
+  Alcotest.(check string) "metric name sanitized" "a_b_c_1"
+    (Obs.Prometheus.metric_name "a b-c/1");
+  let buf = Buffer.create 128 in
+  Obs.Prometheus.counter buf ~name:"t_total" ~help:"line1\nline2"
+    [ ([], 3.); ([ ("verdict", "a\"b\\c") ], 1.5) ];
+  Alcotest.(check string) "counter family rendering"
+    ("# HELP t_total line1\\nline2\n# TYPE t_total counter\n"
+   ^ "t_total 3\nt_total{verdict=\"a\\\"b\\\\c\"} 1.5\n")
+    (Buffer.contents buf)
+
+let test_prometheus_histogram () =
+  let hist = Array.make Obs.histogram_buckets 0 in
+  hist.(0) <- 2;
+  hist.(3) <- 1;
+  hist.(Obs.histogram_buckets - 1) <- 4;
+  let buf = Buffer.create 1024 in
+  Obs.Prometheus.histogram buf ~name:"h_seconds" ~help:"h"
+    [ ([ ("phase", "x") ], hist, 1.5) ];
+  let lines = out_lines (Buffer.contents buf) in
+  let value_of line =
+    match String.rindex_opt line ' ' with
+    | Some i ->
+        float_of_string (String.sub line (i + 1) (String.length line - i - 1))
+    | None -> Alcotest.fail ("no value on line: " ^ line)
+  in
+  let bucket_lines =
+    List.filter
+      (fun l -> String.length l > 16 && String.sub l 0 16 = "h_seconds_bucket")
+      lines
+  in
+  Alcotest.(check int) "one bucket line per bucket plus +Inf"
+    (Obs.histogram_buckets + 1)
+    (List.length bucket_lines);
+  let values = List.map value_of bucket_lines in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative buckets are monotone" true (monotone values);
+  let last = List.nth values (List.length values - 1) in
+  Alcotest.(check (float 0.)) "+Inf bucket carries the full mass" 7. last;
+  let count_line =
+    List.find (fun l -> String.length l > 15 && String.sub l 0 15 = "h_seconds_count") lines
+  in
+  Alcotest.(check (float 0.)) "_count equals +Inf" 7. (value_of count_line);
+  let sum_line =
+    List.find (fun l -> String.length l > 13 && String.sub l 0 13 = "h_seconds_sum") lines
+  in
+  Alcotest.(check (float 0.)) "_sum carried through" 1.5 (value_of sum_line);
+  (* the +Inf line must literally use the +Inf label *)
+  Alcotest.(check bool) "+Inf label present" true
+    (List.exists
+       (fun l ->
+         match String.index_opt l '{' with
+         | Some _ ->
+             let nl = String.length l in
+             let needle = "le=\"+Inf\"" in
+             let rec go i =
+               i + String.length needle <= nl
+               && (String.sub l i (String.length needle) = needle || go (i + 1))
+             in
+             go 0
+         | None -> false)
+       bucket_lines)
+
+let test_prometheus_of_snapshot () =
+  let snap =
+    snapshot_of
+      [ (Obs.Solver_query, metrics_of ~spans:2 ~seconds:0.25 [ (3, 2) ]) ]
+      [ ("filter.daemon.accept", 5) ]
+  in
+  let out = Obs.Prometheus.of_snapshot snap in
+  let contains needle =
+    let nl = String.length needle and l = String.length out in
+    let rec go i = i + nl <= l && (String.sub out i nl = needle || go (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "exposition contains %s" needle) true (go 0)
+  in
+  contains "# TYPE achilles_phase_spans_total counter";
+  contains "achilles_phase_spans_total{phase=\"solver_query\"} 2";
+  contains "achilles_phase_seconds_total{phase=\"solver_query\"} 0.25";
+  contains "# TYPE achilles_phase_duration_seconds histogram";
+  contains "achilles_phase_duration_seconds_count{phase=\"solver_query\"} 2";
+  contains "achilles_events_total{name=\"filter.daemon.accept\"} 5";
+  (* idle phases get counter series but no histogram series *)
+  contains "achilles_phase_spans_total{phase=\"slice\"} 0";
+  let not_contains needle =
+    let nl = String.length needle and l = String.length out in
+    let rec go i = i + nl <= l && (String.sub out i nl = needle || go (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "exposition omits %s" needle) false (go 0)
+  in
+  not_contains "achilles_phase_duration_seconds_count{phase=\"slice\"}";
+  (* every non-comment line is "name-or-series value" with a float value *)
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] <> '#' then
+        match String.rindex_opt line ' ' with
+        | Some i -> (
+            match
+              float_of_string_opt
+                (String.sub line (i + 1) (String.length line - i - 1))
+            with
+            | Some _ -> ()
+            | None -> Alcotest.fail ("unparseable sample value: " ^ line))
+        | None -> Alcotest.fail ("sample line without value: " ^ line))
+    (out_lines out)
+
+(* --- nested JSON values (Json.v) ----------------------------------------------- *)
+
+let test_json_value_roundtrip () =
+  let v =
+    Obs.Json.VObj
+      [
+        ("s", Obs.Json.VStr tricky_string);
+        ("n", Obs.Json.VNum 1.5);
+        ("neg", Obs.Json.VNum (-3.));
+        ("null", Obs.Json.VNull);
+        ("b", Obs.Json.VBool false);
+        ( "arr",
+          Obs.Json.VArr
+            [ Obs.Json.VNum 1.; Obs.Json.VStr "x"; Obs.Json.VObj [] ] );
+        ("obj", Obs.Json.VObj [ ("k", Obs.Json.VArr []) ]);
+      ]
+  in
+  (match Obs.Json.parse (Obs.Json.to_string v) with
+  | Error e -> Alcotest.fail ("nested round-trip failed: " ^ e)
+  | Ok v' -> Alcotest.(check bool) "nested value round-trips" true (v = v'));
+  (match Obs.Json.parse "\"caf\\u00e9\"" with
+  | Ok (Obs.Json.VStr s) ->
+      Alcotest.(check string) "unicode escape decodes to UTF-8" "caf\xc3\xa9" s
+  | _ -> Alcotest.fail "unicode escape misparsed");
+  (match Obs.Json.parse " [ 1 , true , null ] " with
+  | Ok (Obs.Json.VArr [ Obs.Json.VNum 1.; Obs.Json.VBool true; Obs.Json.VNull ])
+    -> ()
+  | _ -> Alcotest.fail "whitespace array misparsed");
+  let bad s =
+    match Obs.Json.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "expected parse error on %S" s)
+  in
+  bad "{";
+  bad "[1,";
+  bad "tru";
+  bad "{\"a\":1} x";
+  (* accessors *)
+  (match Obs.Json.mem "n" v with
+  | Some n ->
+      Alcotest.(check (option (float 0.))) "to_float" (Some 1.5)
+        (Obs.Json.to_float n)
+  | None -> Alcotest.fail "mem lost a field");
+  Alcotest.(check (option string)) "to_str"
+    (Some tricky_string)
+    (Option.bind (Obs.Json.mem "s" v) Obs.Json.to_str);
+  Alcotest.(check bool) "mem on non-object" true
+    (Obs.Json.mem "x" (Obs.Json.VNum 1.) = None)
+
+(* --- process identity and the trace_start meta event ---------------------------- *)
+
+let test_trace_meta_identity () =
+  let id1 = Obs.fresh_run_id () in
+  let id2 = Obs.fresh_run_id () in
+  Alcotest.(check int) "run ids are 12 hex chars" 12 (String.length id1);
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "run id is lowercase hex" true
+        ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    id1;
+  Alcotest.(check bool) "run ids are fresh" true (id1 <> id2);
+  let saved_run, saved_proc = Obs.identity () in
+  Obs.set_identity ~run_id:"cafe01234567" ~proc:"unit-test";
+  Alcotest.(check (pair string string)) "identity readback"
+    ("cafe01234567", "unit-test")
+    (Obs.identity ());
+  let file = Filename.temp_file "achilles-obs-meta" ".jsonl" in
+  Obs.Trace.enable file;
+  Obs.emit ~kind:"test" ~name:"x" ();
+  Obs.Trace.disable ();
+  Obs.set_identity ~run_id:saved_run ~proc:saved_proc;
+  let lines = read_lines file in
+  Alcotest.(check int) "meta stamp plus one event" 2 (List.length lines);
+  (match Obs.Json.parse_line (List.hd lines) with
+  | Error e -> Alcotest.fail ("meta line unparseable: " ^ e)
+  | Ok fields -> (
+      check_str fields "kind" "meta";
+      check_str fields "name" "trace_start";
+      check_str fields "run_id" "cafe01234567";
+      check_str fields "proc" "unit-test";
+      check_num fields "pid" (float_of_int (Unix.getpid ()));
+      match field fields "wall0" with
+      | Obs.Json.Num w ->
+          Alcotest.(check bool) "wall0 is an epoch timestamp near now" true
+            (Float.abs (w -. Unix.gettimeofday ()) < 3600.)
+      | _ -> Alcotest.fail "wall0 is not a number"));
+  Sys.remove file
+
+(* --- merging multi-process traces ---------------------------------------------- *)
+
+let write_stream path ~run_id ~proc ~wall0 events =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"t\":0,\"tid\":0,\"kind\":\"meta\",\"name\":\"trace_start\",\"run_id\":%S,\"proc\":%S,\"pid\":1,\"wall0\":%.6f}\n"
+    run_id proc wall0;
+  List.iter
+    (fun ev -> output_string oc (Obs.json_of_event ev ^ "\n"))
+    events;
+  close_out oc
+
+let span_pair t name =
+  [
+    { Obs.ev_t = t; ev_tid = 0; ev_kind = "span_begin"; ev_name = name; ev_args = [] };
+    {
+      Obs.ev_t = t +. 0.5;
+      ev_tid = 0;
+      ev_kind = "span_end";
+      ev_name = name;
+      ev_args = [ ("dur", Obs.F 0.5) ];
+    };
+  ]
+
+let test_chrome_merge () =
+  let dir = Filename.temp_file "achilles-obs-merge" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let coord = Filename.concat dir "coord.jsonl" in
+  let w0 = Filename.concat dir "trace-worker-000.e0.jsonl" in
+  write_stream coord ~run_id:"deadbeef0001" ~proc:"coordinator" ~wall0:1000.
+    (span_pair 1.0 "dist");
+  write_stream w0 ~run_id:"deadbeef0001" ~proc:"worker-000" ~wall0:1002.5
+    (span_pair 0.5 "server_se");
+  let dst = Filename.concat dir "merged.json" in
+  (match Obs.Chrome.merge ~srcs:[ coord; w0 ] ~dst with
+  | Error e -> Alcotest.fail ("merge failed: " ^ e)
+  | Ok (n, run_id) ->
+      Alcotest.(check int) "two streams merged" 2 n;
+      Alcotest.(check (option string)) "run id correlated"
+        (Some "deadbeef0001") run_id);
+  let ic = open_in_bin dst in
+  let out = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let contains needle =
+    let nl = String.length needle and l = String.length out in
+    let rec go i = i + nl <= l && (String.sub out i nl = needle || go (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "merged timeline contains %s" needle)
+      true (go 0)
+  in
+  contains "\"name\":\"process_name\"";
+  contains "\"coordinator\"";
+  contains "\"worker-000\"";
+  (* the coordinator stream has the earliest wall0, so its event keeps its
+     local offset; the worker's 0.5 s event lands at 2.5 + 0.5 = 3 s *)
+  contains "\"ts\":1000000.000";
+  contains "\"ts\":3000000.000";
+  contains "\"pid\":0";
+  contains "\"pid\":1";
+  (match Obs.Json.parse out with
+  | Error e -> Alcotest.fail ("merged output is not valid JSON: " ^ e)
+  | Ok v -> (
+      match Obs.Json.mem "traceEvents" v with
+      | Some (Obs.Json.VArr evs) ->
+          Alcotest.(check bool) "merged timeline has events" true
+            (List.length evs >= 6)
+      | _ -> Alcotest.fail "merged output lacks a traceEvents array"));
+  (* distinct run ids refuse to merge *)
+  let w1 = Filename.concat dir "trace-worker-001.e0.jsonl" in
+  write_stream w1 ~run_id:"0123456789ab" ~proc:"worker-001" ~wall0:1001.
+    (span_pair 0.1 "server_se");
+  (match Obs.Chrome.merge ~srcs:[ coord; w1 ] ~dst with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "merging different runs must fail");
+  (* a stream without a meta stamp falls back to its filename as proc *)
+  let bare = Filename.concat dir "bare-stream.jsonl" in
+  let oc = open_out bare in
+  List.iter
+    (fun ev -> output_string oc (Obs.json_of_event ev ^ "\n"))
+    (span_pair 0.2 "negate");
+  close_out oc;
+  (match Obs.Chrome.merge ~srcs:[ bare ] ~dst with
+  | Error e -> Alcotest.fail ("bare merge failed: " ^ e)
+  | Ok (n, run_id) ->
+      Alcotest.(check int) "single bare stream merges" 1 n;
+      Alcotest.(check (option string)) "no run id without meta" None run_id);
+  let ic = open_in_bin dst in
+  let out = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let nl = String.length "\"bare-stream\"" and l = String.length out in
+  let rec go i =
+    i + nl <= l && (String.sub out i nl = "\"bare-stream\"" || go (i + 1))
+  in
+  Alcotest.(check bool) "proc falls back to filename" true (go 0);
+  List.iter Sys.remove [ coord; w0; w1; bare; dst ];
+  Unix.rmdir dir
+
 (* --- tracing must never change search results ---------------------------------- *)
 
 let qcheck_trace_invisible =
@@ -541,6 +1028,8 @@ let () =
           Alcotest.test_case "event round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "parser rejects malformed lines" `Quick
             test_json_parse_errors;
+          Alcotest.test_case "nested values round-trip" `Quick
+            test_json_value_roundtrip;
         ] );
       ( "metrics",
         [
@@ -548,6 +1037,24 @@ let () =
             test_aggregate_across_domains;
           Alcotest.test_case "phase taxonomy round-trips" `Quick
             test_phase_names_total;
+          Alcotest.test_case "quantiles from log2 histograms" `Quick
+            test_estimate_quantile;
+        ] );
+      ( "snapshot-codec",
+        [
+          Alcotest.test_case "encode/decode/merge" `Quick test_snapshot_codec;
+          Alcotest.test_case "decode rejects malformed, skips unknown" `Quick
+            test_snapshot_decode_errors;
+          QCheck_alcotest.to_alcotest ~verbose:false qcheck_snapshot_roundtrip;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "escaping and counter families" `Quick
+            test_prometheus_escaping;
+          Alcotest.test_case "histogram exposition" `Quick
+            test_prometheus_histogram;
+          Alcotest.test_case "snapshot exposition" `Quick
+            test_prometheus_of_snapshot;
         ] );
       ( "trace-writer",
         [
@@ -561,6 +1068,13 @@ let () =
           Alcotest.test_case "self-time attribution" `Quick
             test_summary_self_time;
           Alcotest.test_case "chrome export" `Quick test_chrome_export;
+        ] );
+      ( "correlation",
+        [
+          Alcotest.test_case "identity and trace_start meta" `Quick
+            test_trace_meta_identity;
+          Alcotest.test_case "chrome merge across processes" `Quick
+            test_chrome_merge;
         ] );
       ( "determinism",
         [
